@@ -1,0 +1,75 @@
+"""Ablation benchmarks for the Fast-Coreset design choices (DESIGN.md section 4).
+
+Not part of the paper's tables, but each ablation isolates one ingredient of
+Algorithm 1 so a reader can see what it contributes: the per-cluster weight
+correction, the spread-reduction preprocessing, the quadtree seeding, and
+the Johnson–Lindenstrauss dimension.
+"""
+
+import numpy as np
+
+from repro.experiments.ablations import (
+    ablation_jl_dimension,
+    ablation_seeding,
+    ablation_spread_reduction,
+    ablation_weight_correction,
+)
+
+
+def test_ablation_weight_correction(benchmark, bench_scale, run_once, show):
+    rows = run_once(
+        benchmark,
+        ablation_weight_correction,
+        scale=bench_scale,
+        datasets=("gaussian", "geometric"),
+        repetitions=bench_scale.repetitions,
+    )
+    show("Ablation: sensitivity sampling weight correction", rows, ["distortion_mean"])
+    # Both variants produce valid coresets on these datasets.
+    assert all(row.values["distortion_mean"] < 5.0 for row in rows)
+
+
+def test_ablation_spread_reduction(benchmark, bench_scale, run_once, show):
+    rows = run_once(
+        benchmark,
+        ablation_spread_reduction,
+        scale=bench_scale,
+        r_values=(10, 30),
+        k=bench_scale.k_small,
+        repetitions=1,
+    )
+    show("Ablation: Fast-Coreset with / without spread reduction", rows, ["distortion_mean", "runtime_mean"])
+    with_reduction = [r for r in rows if r.method.endswith("[with_reduction]")]
+    without_reduction = [r for r in rows if r.method.endswith("[without_reduction]")]
+    # Accuracy is unaffected by the preprocessing.
+    assert np.mean([r.values["distortion_mean"] for r in with_reduction]) < 5.0
+    assert np.mean([r.values["distortion_mean"] for r in without_reduction]) < 5.0
+
+
+def test_ablation_seeding(benchmark, bench_scale, run_once, show):
+    rows = run_once(
+        benchmark,
+        ablation_seeding,
+        scale=bench_scale,
+        datasets=("gaussian",),
+        repetitions=bench_scale.repetitions,
+    )
+    show("Ablation: quadtree seeding vs exact k-means++ seeding", rows, ["distortion_mean", "runtime_mean"])
+    by_method = {row.method: row.values["distortion_mean"] for row in rows}
+    # The tree-metric seeding sacrifices little accuracy relative to the
+    # exact k-means++ seeding.
+    assert by_method["quadtree_seeding"] < by_method["kmeans++_seeding"] * 3 + 1
+
+
+def test_ablation_jl_dimension(benchmark, bench_scale, run_once, show):
+    rows = run_once(
+        benchmark,
+        ablation_jl_dimension,
+        scale=bench_scale,
+        target_dims=(4, 16, 32),
+        repetitions=1,
+    )
+    show("Ablation: Fast-Coreset distortion vs JL target dimension", rows, ["distortion_mean"])
+    distortions = {row.parameters["target_dim"]: row.values["distortion_mean"] for row in rows}
+    # A very aggressive projection may hurt, but moderate dimensions suffice.
+    assert distortions[32.0] < 5.0

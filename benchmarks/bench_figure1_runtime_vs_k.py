@@ -1,0 +1,43 @@
+"""Benchmark regenerating Figure 1: construction runtime vs k.
+
+Paper shape to reproduce: as ``k`` grows 8x (50 → 400) sensitivity sampling
+slows down roughly linearly in ``k`` while the Fast-Coreset runtime grows
+only by a small (logarithmic) factor.  The scale-free check below compares
+the two methods' slowdown factors between the smallest and largest ``k``.
+"""
+
+import numpy as np
+
+from repro.experiments import figure1_runtime_vs_k
+
+
+def test_figure1_runtime_vs_k(benchmark, bench_scale, run_once, show):
+    k_values = (10, 20, 40, 80) if bench_scale.dataset_fraction < 1.0 else (50, 100, 200, 400)
+    rows = run_once(
+        benchmark,
+        figure1_runtime_vs_k,
+        scale=bench_scale,
+        k_values=k_values,
+        datasets=("geometric", "gaussian", "adult"),
+        repetitions=1,
+        m_scalar=5,
+    )
+    show("Figure 1: runtime vs k", rows, ["runtime_mean", "slowdown_vs_smallest_k"])
+
+    def slowdown(method: str) -> float:
+        method_rows = [row for row in rows if row.method == method]
+        by_k = {}
+        for row in method_rows:
+            by_k.setdefault(row.parameters["k"], []).append(row.values["runtime_mean"])
+        ks = sorted(by_k)
+        return float(np.mean(by_k[ks[-1]]) / max(np.mean(by_k[ks[0]]), 1e-9))
+
+    sensitivity_slowdown = slowdown("sensitivity")
+    fast_slowdown = slowdown("fast_coreset")
+    print(
+        f"\nslowdown from k={k_values[0]} to k={k_values[-1]}: "
+        f"sensitivity={sensitivity_slowdown:.2f}x, fast_coreset={fast_slowdown:.2f}x"
+    )
+    # The paper's claim: sensitivity sampling scales (roughly linearly) with k,
+    # Fast-Coresets are nearly flat — so its slowdown factor must be larger.
+    assert sensitivity_slowdown > fast_slowdown

@@ -1,0 +1,34 @@
+"""Benchmark regenerating Figure 2 (bottom): construction runtime of every sampler.
+
+Paper shape to reproduce: runtimes are ordered
+uniform < lightweight < welterweight < Fast-Coreset — the central
+speed-vs-accuracy tradeoff.  (The top half of Figure 2 visualises the
+Table 4 distortions and is covered by ``bench_table4_distortion_sweep``.)
+"""
+
+import numpy as np
+
+from repro.experiments.sampler_sweep import figure2_runtime_sweep
+
+
+def test_figure2_runtime_sweep(benchmark, bench_scale, run_once, show):
+    rows = run_once(
+        benchmark,
+        figure2_runtime_sweep,
+        scale=bench_scale,
+        datasets=("gaussian", "adult"),
+        m_scalars=(40,),
+        repetitions=bench_scale.repetitions,
+    )
+    show("Figure 2 (bottom): construction runtime by sampler", rows, ["runtime_mean", "distortion_mean"])
+
+    def mean_runtime(method: str) -> float:
+        return float(np.mean([row.values["runtime_mean"] for row in rows if row.method == method]))
+
+    uniform = mean_runtime("uniform")
+    lightweight = mean_runtime("lightweight")
+    fast = mean_runtime("fast_coreset")
+    print(f"\nmean runtimes: uniform={uniform:.4f}s lightweight={lightweight:.4f}s fast_coreset={fast:.4f}s")
+    # The tradeoff ordering of the paper: the cruder the sampler, the faster.
+    assert uniform <= lightweight * 1.5
+    assert lightweight < fast

@@ -1,0 +1,39 @@
+"""Benchmark regenerating Figure 4: the distortion sweep for the k-median objective.
+
+Paper shape to reproduce: the k-median distortions mirror the k-means ones —
+uniform sampling fails on the outlier-style datasets, the sensitivity-based
+constructions stay accurate, and larger coreset sizes help.
+"""
+
+import numpy as np
+
+from repro.experiments import figure4_kmedian_sweep
+
+
+def test_figure4_kmedian_sweep(benchmark, bench_scale, run_once, show):
+    rows = run_once(
+        benchmark,
+        figure4_kmedian_sweep,
+        scale=bench_scale,
+        datasets=("c_outlier", "gaussian", "adult"),
+        m_scalars=(20, 40) if bench_scale.dataset_fraction < 1.0 else (40, 60, 80),
+        repetitions=1,
+    )
+    show("Figure 4: k-median distortions", rows, ["distortion_mean", "runtime_mean"])
+
+    def mean_distortion(method: str, dataset: str) -> float:
+        return float(
+            np.mean(
+                [
+                    row.values["distortion_mean"]
+                    for row in rows
+                    if row.method == method and row.dataset == dataset
+                ]
+            )
+        )
+
+    # Fast-Coresets stay accurate for k-median as well.
+    fast = [row.values["distortion_mean"] for row in rows if row.method == "fast_coreset"]
+    assert max(fast) < 5.0
+    # The c-outlier failure of uniform sampling carries over from k-means.
+    assert mean_distortion("uniform", "c_outlier") >= mean_distortion("fast_coreset", "c_outlier")

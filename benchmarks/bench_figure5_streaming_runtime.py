@@ -1,0 +1,35 @@
+"""Benchmark regenerating Figure 5 (bottom): streaming vs static construction runtime.
+
+Paper shape to reproduce: the merge-&-reduce pipeline adds overhead (each
+block is compressed and the partial compressions are repeatedly re-compressed)
+but stays within a small factor of the static construction, and the relative
+ordering of the samplers is unchanged.
+"""
+
+import numpy as np
+
+from repro.experiments import table5_streaming_comparison
+
+
+def test_figure5_streaming_runtime(benchmark, bench_scale, run_once, show):
+    rows = run_once(
+        benchmark,
+        table5_streaming_comparison,
+        scale=bench_scale,
+        datasets=("gaussian",),
+        repetitions=1,
+        n_blocks=8,
+    )
+    show("Figure 5 (bottom): streaming vs static runtime", rows, ["runtime_mean", "distortion_mean"])
+
+    def runtime(method: str, setting: str) -> float:
+        return float(
+            np.mean(
+                [row.values["runtime_mean"] for row in rows if row.method == f"{method}[{setting}]"]
+            )
+        )
+
+    # The cheap samplers remain cheap in the stream; Fast-Coresets remain the
+    # most expensive construction in both settings.
+    assert runtime("uniform", "streaming") < runtime("fast_coreset", "streaming")
+    assert runtime("uniform", "static") < runtime("fast_coreset", "static")

@@ -1,0 +1,30 @@
+"""Benchmark regenerating Table 2: distortion ratios relative to sensitivity sampling.
+
+Paper shape to reproduce: Fast-Coresets stay within a small constant factor
+of sensitivity sampling on every dataset, while uniform sampling matches it
+on the well-behaved datasets (Adult, MNIST, Census, ...) and blows up on
+Star (~8.5x) and Taxi (~600x).
+"""
+
+from repro.experiments import table2_distortion_ratios
+
+
+def test_table2_distortion_ratios(benchmark, bench_scale, run_once, show):
+    rows = run_once(
+        benchmark,
+        table2_distortion_ratios,
+        scale=bench_scale,
+        datasets=("adult", "mnist", "star", "taxi", "census"),
+        repetitions=bench_scale.repetitions,
+    )
+    show("Table 2: distortion ratio vs sensitivity sampling", rows, ["ratio", "distortion"])
+
+    ratios = {(row.dataset, row.method): row.values["ratio"] for row in rows}
+    # Fast-Coresets never degrade by a large factor.
+    fast_ratios = [value for (dataset, method), value in ratios.items() if method == "fast_coreset"]
+    assert max(fast_ratios) < 5.0
+    # Uniform sampling fails on at least one of the pathological datasets
+    # (Star or Taxi) by a visibly larger factor than on the benign ones.
+    uniform_pathological = max(ratios[("star", "uniform")], ratios[("taxi", "uniform")])
+    uniform_benign = max(ratios[("adult", "uniform")], ratios[("census", "uniform")])
+    assert uniform_pathological > uniform_benign

@@ -1,0 +1,21 @@
+"""Benchmark regenerating Table 3: dataset characteristics.
+
+The dimensions of every stand-in must match the documented dimensions of the
+original datasets; the point counts are scaled by the experiment scale's
+``dataset_fraction`` (1.0 under REPRO_FULL_SCALE).
+"""
+
+from repro.experiments import table3_dataset_summary
+
+
+def test_table3_dataset_summary(benchmark, bench_scale, run_once, show):
+    rows = run_once(benchmark, table3_dataset_summary, scale=bench_scale)
+    show(
+        "Table 3: dataset characteristics (paper vs generated stand-in)",
+        rows,
+        ["paper_points", "paper_dim", "generated_points", "generated_dim"],
+    )
+    assert len(rows) == 7
+    for row in rows:
+        assert row.values["generated_dim"] == row.values["paper_dim"]
+        assert row.values["generated_points"] > 0

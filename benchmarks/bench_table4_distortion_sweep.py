@@ -1,0 +1,40 @@
+"""Benchmark regenerating Table 4: distortion of every sampler on every dataset.
+
+Paper shape to reproduce: all methods are accurate on the well-behaved real
+datasets; uniform sampling fails catastrophically on c-outlier, geometric
+and Taxi-style data; the sensitivity-based constructions (and in particular
+Fast-Coresets) never fail; larger coreset sizes reduce distortion.
+"""
+
+import numpy as np
+
+from repro.experiments import table4_sampler_sweep
+
+
+def test_table4_distortion_sweep(benchmark, bench_scale, run_once, show):
+    rows = run_once(
+        benchmark,
+        table4_sampler_sweep,
+        scale=bench_scale,
+        datasets=("c_outlier", "geometric", "gaussian", "benchmark", "adult", "star", "taxi"),
+        m_scalars=(20, 40) if bench_scale.dataset_fraction < 1.0 else (40, 80),
+        repetitions=bench_scale.repetitions,
+    )
+    show("Table 4: distortion by sampler, dataset, and m-scalar", rows, ["distortion_mean", "distortion_var", "runtime_mean"])
+
+    def mean_distortion(method: str, dataset: str) -> float:
+        selected = [
+            row.values["distortion_mean"]
+            for row in rows
+            if row.method == method and row.dataset == dataset
+        ]
+        return float(np.mean(selected))
+
+    # Fast-Coresets never fail (the paper's failure threshold is 5).
+    fast = [row.values["distortion_mean"] for row in rows if row.method == "fast_coreset"]
+    assert max(fast) < 5.0
+    # Uniform sampling fails on the c-outlier dataset by a wide margin.
+    assert mean_distortion("uniform", "c_outlier") > mean_distortion("fast_coreset", "c_outlier")
+    # Every sampler is fine on the balanced Adult stand-in.
+    for method in ("uniform", "lightweight", "welterweight", "fast_coreset"):
+        assert mean_distortion(method, "adult") < 2.0

@@ -1,0 +1,38 @@
+"""Benchmark regenerating Table 5 / Figure 5 (top): streaming vs static distortion.
+
+Paper shape to reproduce: compressing block-by-block under merge-&-reduce
+composition does not meaningfully degrade any sampler's distortion — the
+accelerated methods perform at least as well in the stream as in the static
+setting.
+"""
+
+import numpy as np
+
+from repro.experiments import table5_streaming_comparison
+
+
+def test_table5_streaming_vs_static(benchmark, bench_scale, run_once, show):
+    rows = run_once(
+        benchmark,
+        table5_streaming_comparison,
+        scale=bench_scale,
+        datasets=("c_outlier", "gaussian", "adult"),
+        repetitions=max(1, bench_scale.repetitions - 1),
+        n_blocks=8,
+    )
+    show("Table 5: streaming vs static distortion", rows, ["distortion_mean", "distortion_var", "runtime_mean"])
+
+    def mean_for(method: str, setting: str) -> float:
+        selected = [
+            row.values["distortion_mean"]
+            for row in rows
+            if row.method == f"{method}[{setting}]"
+        ]
+        return float(np.mean(selected))
+
+    # Fast-Coresets stay accurate in both settings.
+    assert mean_for("fast_coreset", "static") < 5.0
+    assert mean_for("fast_coreset", "streaming") < 5.0
+    # Streaming does not catastrophically degrade the sensitivity-based methods.
+    for method in ("lightweight", "welterweight", "fast_coreset"):
+        assert mean_for(method, "streaming") < mean_for(method, "static") * 3 + 3

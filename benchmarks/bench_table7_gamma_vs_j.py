@@ -1,0 +1,42 @@
+"""Benchmark regenerating Table 7: class imbalance (gamma) vs candidate-solution size (j).
+
+Paper shape to reproduce: every method achieves low distortion on balanced
+mixtures (gamma = 0); as gamma grows the lightweight construction degrades
+first, welterweight constructions degrade more slowly the larger ``j`` is,
+and the Fast-Coreset (j = k) stays accurate throughout.
+"""
+
+import numpy as np
+
+from repro.experiments import table7_imbalance_sweep
+
+
+def test_table7_gamma_vs_j(benchmark, bench_scale, run_once, show):
+    rows = run_once(
+        benchmark,
+        table7_imbalance_sweep,
+        scale=bench_scale,
+        gamma_values=(0.0, 1.0, 3.0, 5.0),
+        repetitions=bench_scale.repetitions,
+    )
+    show("Table 7: distortion vs gamma and j", rows, ["distortion_mean", "distortion_var"])
+
+    def distortion(method_prefix: str, gamma: float) -> float:
+        selected = [
+            row.values["distortion_mean"]
+            for row in rows
+            if row.method.startswith(method_prefix) and row.parameters["gamma"] == gamma
+        ]
+        return float(np.mean(selected))
+
+    # Balanced data: everything is accurate.
+    for method in ("lightweight", "fast_coreset"):
+        assert distortion(method, 0.0) < 3.0
+    # The full candidate solution (j = k) never crosses the paper's failure
+    # threshold, at any imbalance level.
+    for gamma in (0.0, 1.0, 3.0, 5.0):
+        assert distortion("fast_coreset", gamma) < 5.0
+    # Imbalance is what hurts: the worst distortion in the whole table occurs
+    # at gamma >= 3, not on the balanced configurations.
+    worst = max(rows, key=lambda row: row.values["distortion_mean"])
+    assert worst.parameters["gamma"] >= 3.0

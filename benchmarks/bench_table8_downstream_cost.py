@@ -1,0 +1,36 @@
+"""Benchmark regenerating Table 8: downstream k-means cost from each sampler's coreset.
+
+Paper shape to reproduce: among the samplers whose distortion is small on a
+dataset, the downstream solution costs are all within a few percent of each
+other — "no sampling method leads to solutions with consistently minimal
+costs".
+"""
+
+import numpy as np
+
+from repro.experiments import table8_downstream_cost
+
+
+def test_table8_downstream_cost(benchmark, bench_scale, run_once, show):
+    rows = run_once(
+        benchmark,
+        table8_downstream_cost,
+        scale=bench_scale,
+        datasets=("mnist", "adult", "census"),
+        k=min(50, bench_scale.k_small),
+    )
+    show("Table 8: cost(P, C_S) of the coreset-derived solutions", rows, ["cost_on_full"])
+
+    # On the well-behaved datasets the sensitivity-based samplers produce
+    # solutions within a modest factor of each other.
+    for dataset in ("adult", "census"):
+        costs = [row.values["cost_on_full"] for row in rows if row.dataset == dataset]
+        assert max(costs) <= min(costs) * 2.0, dataset
+    # No single sampler wins on every dataset by a large margin: the best and
+    # the median sampler are close in aggregate.
+    by_method = {}
+    for row in rows:
+        by_method.setdefault(row.method, []).append(row.values["cost_on_full"])
+    aggregate = {method: float(np.mean(values)) for method, values in by_method.items()}
+    ordered = sorted(aggregate.values())
+    assert ordered[0] >= ordered[len(ordered) // 2] * 0.5

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Distributed (MapReduce-style) compression of a Census-scale workload.
+
+Section 2.3 of the paper explains why coresets and MapReduce fit together:
+coresets of disjoint shards compose by union and their size does not depend
+on the shard size, so a single communication round suffices.  This example
+simulates that round on a Census-like dataset and reports the quantities a
+database engineer would care about: per-worker shard sizes, message sizes,
+total communication volume, and the quality of the host-side compression.
+
+Run with::
+
+    python examples/mapreduce_compression.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.clustering import kmeans
+from repro.core import FastCoreset, SensitivitySampling
+from repro.data import census_like
+from repro.distributed import MapReduceCoresetAggregator
+from repro.evaluation import coreset_distortion
+
+
+def main() -> None:
+    print("Generating a Census-like dataset ...")
+    dataset = census_like(fraction=0.01, seed=0)
+    points = dataset.points
+    k = 50
+    per_worker = 20 * k
+    print(f"n={dataset.n}, d={dataset.d}, k={k}\n")
+
+    for n_workers in (2, 4, 8):
+        aggregator = MapReduceCoresetAggregator(
+            sampler=FastCoreset(k=k, seed=0),
+            n_workers=n_workers,
+            coreset_size_per_worker=per_worker,
+            final_coreset_size=40 * k,
+            seed=n_workers,
+        )
+        start = time.perf_counter()
+        round_result = aggregator.run(points)
+        elapsed = time.perf_counter() - start
+        distortion = coreset_distortion(points, round_result.coreset, k=k, seed=3)
+        print(
+            f"workers={n_workers}: shard sizes={round_result.shard_sizes}, "
+            f"messages={round_result.message_sizes}"
+        )
+        print(
+            f"           communication={round_result.communication:,} floats, "
+            f"host coreset size={round_result.coreset.size}, distortion={distortion:.3f}, "
+            f"wall time={elapsed:.2f}s"
+        )
+
+    print("\nSolving k-means on the host-side compression and checking it against the full data ...")
+    aggregator = MapReduceCoresetAggregator(
+        sampler=SensitivitySampling(k=k, seed=1),
+        n_workers=8,
+        coreset_size_per_worker=per_worker,
+        final_coreset_size=40 * k,
+        seed=1,
+    )
+    round_result = aggregator.run(points)
+    coreset = round_result.coreset
+    solution = kmeans(coreset.points, k, weights=coreset.weights, seed=2)
+    from repro.clustering.cost import clustering_cost
+
+    cost_on_full = clustering_cost(points, solution.centers)
+    cost_estimate = coreset.cost(solution.centers)
+    print(f"cost estimated on the compression: {cost_estimate:,.0f}")
+    print(f"cost evaluated on the full data:   {cost_on_full:,.0f}")
+    print(f"estimation error: {abs(cost_estimate - cost_on_full) / cost_on_full:.2%}")
+
+
+if __name__ == "__main__":
+    main()

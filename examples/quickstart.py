@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Quickstart: compress a dataset with every sampler and compare quality and speed.
+
+This is the five-minute tour of the library:
+
+1. generate a Gaussian-mixture dataset with imbalanced cluster sizes,
+2. compress it with the full spectrum of samplers studied in the paper
+   (uniform → lightweight → welterweight → sensitivity → Fast-Coreset),
+3. measure each compression's *coreset distortion* (how faithfully it
+   represents the full dataset for clustering purposes) and its construction
+   time, and
+4. run the downstream k-means task on the best compression.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.clustering import kmeans
+from repro.core import (
+    FastCoreset,
+    LightweightCoreset,
+    SensitivitySampling,
+    UniformSampling,
+    WelterweightCoreset,
+)
+from repro.data import gaussian_mixture
+from repro.evaluation import coreset_distortion, solution_cost_on_dataset
+
+
+def main() -> None:
+    n, d, k = 20_000, 20, 25
+    coreset_size = 40 * k
+    print(f"Generating a Gaussian mixture with n={n}, d={d}, {k} clusters of uneven size ...")
+    dataset = gaussian_mixture(n=n, d=d, n_clusters=k, gamma=2.0, seed=0)
+    points = dataset.points
+
+    samplers = {
+        "uniform": UniformSampling(seed=1),
+        "lightweight": LightweightCoreset(seed=2),
+        "welterweight (j=log k)": WelterweightCoreset(k=k, seed=3),
+        "sensitivity (j=k)": SensitivitySampling(k=k, seed=4),
+        "fast_coreset (Algorithm 1)": FastCoreset(k=k, seed=5),
+    }
+
+    print(f"\nCompressing {n} points down to {coreset_size} weighted points:\n")
+    print(f"{'method':30s} {'time (s)':>10s} {'distortion':>12s} {'total weight':>14s}")
+    best_name, best_coreset, best_distortion = None, None, float("inf")
+    for name, sampler in samplers.items():
+        start = time.perf_counter()
+        coreset = sampler.sample(points, coreset_size)
+        elapsed = time.perf_counter() - start
+        distortion = coreset_distortion(points, coreset, k=k, seed=10)
+        print(f"{name:30s} {elapsed:10.3f} {distortion:12.3f} {coreset.total_weight:14.1f}")
+        if distortion < best_distortion:
+            best_name, best_coreset, best_distortion = name, coreset, distortion
+
+    print(f"\nBest compression: {best_name} (distortion {best_distortion:.3f})")
+    print("Running the downstream k-means task on that compression ...")
+    downstream_cost = solution_cost_on_dataset(points, best_coreset, k, seed=11)
+    full_data_cost = kmeans(points, k, seed=11).cost
+    print(f"cost of coreset-derived solution on the full data: {downstream_cost:,.0f}")
+    print(f"cost of clustering the full data directly:          {full_data_cost:,.0f}")
+    print(f"relative gap: {downstream_cost / full_data_cost - 1.0:+.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Run every experiment harness and write a markdown report of the measured results.
+
+This is the one-shot driver behind EXPERIMENTS.md: it executes the harness of
+every table and figure at the requested scale and renders the resulting rows
+as markdown tables.  Use ``--full`` (or ``REPRO_FULL_SCALE=1``) for
+paper-sized instances; the default quick scale finishes in a few minutes.
+
+Run with::
+
+    python examples/reproduce_all.py --output results.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.config import ExperimentScale
+from repro.evaluation.tables import rows_to_markdown
+from repro.experiments import (
+    figure1_runtime_vs_k,
+    figure3_cluster_capture,
+    figure4_kmedian_sweep,
+    table1_spread_runtime,
+    table2_distortion_ratios,
+    table3_dataset_summary,
+    table4_sampler_sweep,
+    table5_streaming_comparison,
+    table6_bico_distortion,
+    table7_imbalance_sweep,
+    table8_downstream_cost,
+    table9_streamkm_distortion,
+)
+
+
+def build_report(scale: ExperimentScale) -> str:
+    """Execute every harness and return the markdown report."""
+    sections = []
+
+    def add(title: str, rows, value_names) -> None:
+        print(f"[{time.strftime('%H:%M:%S')}] finished {title} ({len(rows)} rows)", file=sys.stderr)
+        sections.append(f"### {title}\n\n{rows_to_markdown(rows, value_names=value_names)}\n")
+
+    add(
+        "Table 1 — Fast-kmeans++ runtime vs spread parameter r",
+        table1_spread_runtime(scale=scale, r_values=(10, 20, 30, 40), k=min(50, scale.k_small)),
+        ["runtime_mean", "runtime_std"],
+    )
+    add(
+        "Figure 1 — construction runtime vs k",
+        figure1_runtime_vs_k(
+            scale=scale,
+            datasets=("geometric", "gaussian", "adult"),
+            k_values=(10, 20, 40, 80) if scale.dataset_fraction < 1.0 else (50, 100, 200, 400),
+            repetitions=1,
+            m_scalar=5,
+        ),
+        ["runtime_mean", "slowdown_vs_smallest_k"],
+    )
+    add(
+        "Table 2 — distortion ratio vs sensitivity sampling",
+        table2_distortion_ratios(scale=scale, datasets=("adult", "mnist", "star", "taxi", "census")),
+        ["ratio", "distortion", "sensitivity_distortion"],
+    )
+    add(
+        "Table 3 — dataset characteristics",
+        table3_dataset_summary(scale=scale),
+        ["paper_points", "paper_dim", "generated_points", "generated_dim"],
+    )
+    add(
+        "Table 4 — distortion by sampler and dataset",
+        table4_sampler_sweep(
+            scale=scale,
+            datasets=("c_outlier", "geometric", "gaussian", "benchmark", "adult", "star", "taxi"),
+            m_scalars=(20, 40) if scale.dataset_fraction < 1.0 else (40, 80),
+        ),
+        ["distortion_mean", "distortion_var", "runtime_mean"],
+    )
+    add(
+        "Table 5 / Figure 5 — streaming vs static",
+        table5_streaming_comparison(scale=scale, datasets=("c_outlier", "gaussian", "adult"), n_blocks=8),
+        ["distortion_mean", "distortion_var", "runtime_mean"],
+    )
+    add(
+        "Table 6 — BICO distortion",
+        table6_bico_distortion(
+            scale=scale,
+            datasets=("c_outlier", "gaussian", "adult"),
+            streaming_datasets=("gaussian",),
+            m_scalars=(20, 40) if scale.dataset_fraction < 1.0 else (40, 80),
+            repetitions=1,
+        ),
+        ["distortion_mean", "distortion_var"],
+    )
+    add(
+        "Table 7 — imbalance gamma vs candidate-solution size j",
+        table7_imbalance_sweep(scale=scale),
+        ["distortion_mean", "distortion_var"],
+    )
+    add(
+        "Table 8 — downstream k-means cost from each sampler's coreset",
+        table8_downstream_cost(scale=scale, datasets=("mnist", "adult", "census", "taxi")),
+        ["cost_on_full"],
+    )
+    add(
+        "Table 9 — StreamKM++ distortion on artificial datasets",
+        table9_streamkm_distortion(scale=scale),
+        ["distortion_mean", "distortion_var"],
+    )
+    add(
+        "Figure 3 — capture of a small central cluster",
+        figure3_cluster_capture(scale=scale, repetitions=10),
+        ["capture_rate", "mean_points_in_small_cluster"],
+    )
+    add(
+        "Figure 4 — k-median distortions",
+        figure4_kmedian_sweep(scale=scale, datasets=("c_outlier", "gaussian", "adult"), m_scalars=(20, 40)),
+        ["distortion_mean", "runtime_mean"],
+    )
+    return "\n".join(sections)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default=None, help="write the markdown report to this file")
+    parser.add_argument("--full", action="store_true", help="use paper-sized instances")
+    arguments = parser.parse_args()
+    scale = ExperimentScale.paper() if arguments.full else ExperimentScale.from_environment()
+    report = build_report(scale)
+    if arguments.output:
+        with open(arguments.output, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        print(f"report written to {arguments.output}", file=sys.stderr)
+    else:
+        print(report)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Streaming compression of a taxi-style workload with merge-&-reduce.
+
+The scenario the paper's Section 5.4 targets: location data arrives in
+blocks (think: a day of taxi pickups at a time) and the system must maintain
+a compression of everything seen so far whose size never grows.  The example
+compares three streaming strategies on a Taxi-like dataset — the one real
+dataset where uniform sampling fails catastrophically:
+
+* uniform sampling under merge-&-reduce,
+* Fast-Coresets under merge-&-reduce,
+* BICO (the BIRCH-based streaming competitor).
+
+Run with::
+
+    python examples/streaming_pipeline.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import FastCoreset, UniformSampling
+from repro.data import taxi_like
+from repro.evaluation import coreset_distortion
+from repro.streaming import BicoCoreset, DataStream, StreamingCoresetPipeline
+
+
+def main() -> None:
+    print("Generating a Taxi-like dataset (2-D pickup locations, clusters of wildly varying size) ...")
+    dataset = taxi_like(fraction=0.05, seed=0)
+    points = dataset.points
+    k = 50
+    coreset_size = 40 * k
+    n_blocks = 20
+    print(f"n={dataset.n} points, streaming in {n_blocks} blocks, maintaining {coreset_size} weighted points\n")
+
+    stream = DataStream.with_block_count(points, n_blocks)
+
+    results = {}
+    for name, pipeline in (
+        ("uniform + merge-&-reduce", StreamingCoresetPipeline(UniformSampling(seed=1), coreset_size, seed=1)),
+        ("fast_coreset + merge-&-reduce", StreamingCoresetPipeline(FastCoreset(k=k, seed=2), coreset_size, seed=2)),
+    ):
+        start = time.perf_counter()
+        coreset, statistics = pipeline.run_with_statistics(stream)
+        elapsed = time.perf_counter() - start
+        distortion = coreset_distortion(points, coreset, k=k, seed=7)
+        results[name] = (elapsed, distortion, coreset.size)
+        print(
+            f"{name:32s} time={elapsed:7.2f}s distortion={distortion:10.3f} "
+            f"size={coreset.size:5d} reductions={int(statistics['reductions'])}"
+        )
+
+    # BICO consumes the stream directly through its clustering-feature tree.
+    bico = BicoCoreset(coreset_size=coreset_size, seed=3)
+    start = time.perf_counter()
+    for block, weights in stream:
+        bico.insert_block(block, weights)
+    coreset = bico.to_coreset()
+    elapsed = time.perf_counter() - start
+    distortion = coreset_distortion(points, coreset, k=k, seed=7)
+    print(f"{'BICO (CF-tree)':32s} time={elapsed:7.2f}s distortion={distortion:10.3f} size={coreset.size:5d}")
+
+    print(
+        "\nTakeaway (matching the paper): the merge-&-reduce composition preserves each sampler's\n"
+        "character — uniform sampling stays brittle on Taxi-style data, Fast-Coresets stay accurate —\n"
+        "and BICO's compression is a usable quantisation but not a faithful coreset."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim for editable installs in offline environments.
+
+The project metadata lives in ``pyproject.toml``; this file only exists so
+``pip install -e .`` works without network access (no build isolation and no
+``wheel`` dependency are required for the legacy develop path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,163 @@
+"""Command-line interface: compress a dataset file into a weighted coreset.
+
+The CLI is the thinnest useful wrapper around the library for pipeline use:
+
+.. code-block:: bash
+
+    python -m repro.cli compress data.npy --k 100 --m 4000 --method fast_coreset \
+        --output coreset.npz
+    python -m repro.cli evaluate data.npy coreset.npz --k 100
+    python -m repro.cli recommend data.npy --k 100
+
+``compress`` writes an ``.npz`` archive with ``points``, ``weights`` and the
+construction metadata; ``evaluate`` reports the coreset distortion of an
+existing compression against its source dataset; ``recommend`` runs the
+Section 5.5 advisor and prints which sampler is appropriate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core import (
+    Coreset,
+    FastCoreset,
+    LightweightCoreset,
+    SensitivitySampling,
+    UniformSampling,
+    WelterweightCoreset,
+)
+from repro.evaluation import coreset_distortion
+from repro.evaluation.advisor import diagnose_dataset, recommend_sampler
+
+#: Method names accepted by ``--method`` and their constructors.
+METHODS = ("uniform", "lightweight", "welterweight", "sensitivity", "fast_coreset")
+
+
+def _load_points(path: str) -> np.ndarray:
+    """Load a dataset from ``.npy``, ``.npz`` (key ``points``) or delimited text."""
+    if path.endswith(".npy"):
+        return np.asarray(np.load(path), dtype=np.float64)
+    if path.endswith(".npz"):
+        archive = np.load(path)
+        key = "points" if "points" in archive else archive.files[0]
+        return np.asarray(archive[key], dtype=np.float64)
+    return np.loadtxt(path, delimiter=",", dtype=np.float64, ndmin=2)
+
+
+def _build_sampler(method: str, k: int, z: int, seed: Optional[int]):
+    """Instantiate the requested construction."""
+    if method == "uniform":
+        return UniformSampling(z=z, seed=seed)
+    if method == "lightweight":
+        return LightweightCoreset(z=z, seed=seed)
+    if method == "welterweight":
+        return WelterweightCoreset(k, z=z, seed=seed)
+    if method == "sensitivity":
+        return SensitivitySampling(k, z=z, seed=seed)
+    if method == "fast_coreset":
+        return FastCoreset(k, z=z, seed=seed)
+    raise ValueError(f"unknown method {method!r}; expected one of {', '.join(METHODS)}")
+
+
+def _command_compress(arguments: argparse.Namespace) -> int:
+    points = _load_points(arguments.data)
+    sampler = _build_sampler(arguments.method, arguments.k, arguments.z, arguments.seed)
+    m = arguments.m if arguments.m is not None else 40 * arguments.k
+    coreset = sampler.sample(points, min(m, points.shape[0]))
+    np.savez(
+        arguments.output,
+        points=coreset.points,
+        weights=coreset.weights,
+        method=np.array(coreset.method),
+        k=np.array(arguments.k),
+    )
+    summary = {
+        "input_points": int(points.shape[0]),
+        "coreset_points": coreset.size,
+        "total_weight": coreset.total_weight,
+        "method": coreset.method,
+        "output": arguments.output,
+    }
+    print(json.dumps(summary, indent=2))
+    return 0
+
+
+def _command_evaluate(arguments: argparse.Namespace) -> int:
+    points = _load_points(arguments.data)
+    archive = np.load(arguments.coreset)
+    coreset = Coreset(
+        points=np.asarray(archive["points"], dtype=np.float64),
+        weights=np.asarray(archive["weights"], dtype=np.float64),
+        method=str(archive["method"]) if "method" in archive else "loaded",
+    )
+    distortion = coreset_distortion(points, coreset, arguments.k, z=arguments.z, seed=arguments.seed)
+    print(json.dumps({"distortion": distortion, "coreset_points": coreset.size}, indent=2))
+    return 0 if distortion < arguments.fail_threshold else 1
+
+
+def _command_recommend(arguments: argparse.Namespace) -> int:
+    points = _load_points(arguments.data)
+    diagnosis = diagnose_dataset(points, arguments.k, seed=arguments.seed)
+    recommendation = recommend_sampler(points, arguments.k, coreset_size=arguments.m, seed=arguments.seed)
+    print(
+        json.dumps(
+            {
+                "recommendation": recommendation,
+                "cluster_imbalance": diagnosis.cluster_imbalance,
+                "top_cost_share": diagnosis.top_cost_share,
+                "smallest_cluster_fraction": diagnosis.smallest_cluster_fraction,
+            },
+            indent=2,
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    compress = subparsers.add_parser("compress", help="compress a dataset into a weighted coreset")
+    compress.add_argument("data", help="input dataset (.npy, .npz, or csv)")
+    compress.add_argument("--k", type=int, required=True, help="number of clusters to support")
+    compress.add_argument("--m", type=int, default=None, help="coreset size (default 40*k)")
+    compress.add_argument("--method", choices=METHODS, default="fast_coreset")
+    compress.add_argument("--z", type=int, choices=(1, 2), default=2, help="1=k-median, 2=k-means")
+    compress.add_argument("--seed", type=int, default=0)
+    compress.add_argument("--output", default="coreset.npz")
+    compress.set_defaults(handler=_command_compress)
+
+    evaluate = subparsers.add_parser("evaluate", help="measure the distortion of an existing coreset")
+    evaluate.add_argument("data", help="the original dataset")
+    evaluate.add_argument("coreset", help="the .npz produced by the compress command")
+    evaluate.add_argument("--k", type=int, required=True)
+    evaluate.add_argument("--z", type=int, choices=(1, 2), default=2)
+    evaluate.add_argument("--seed", type=int, default=0)
+    evaluate.add_argument("--fail-threshold", type=float, default=5.0)
+    evaluate.set_defaults(handler=_command_evaluate)
+
+    recommend = subparsers.add_parser("recommend", help="run the Section 5.5 sampler advisor")
+    recommend.add_argument("data", help="the dataset to diagnose")
+    recommend.add_argument("--k", type=int, required=True)
+    recommend.add_argument("--m", type=int, default=None)
+    recommend.add_argument("--seed", type=int, default=0)
+    recommend.set_defaults(handler=_command_recommend)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``python -m repro.cli``."""
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    return arguments.handler(arguments)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

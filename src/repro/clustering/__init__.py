@@ -1,0 +1,34 @@
+"""Clustering substrates: cost functions, seeding, and Lloyd-style solvers.
+
+These are the building blocks the coreset constructions in :mod:`repro.core`
+rely on: the weighted k-means / k-median cost (``cost_z``), D²-sampling
+(k-means++) seeding, the quadtree-based ``Fast-kmeans++`` bicriteria solver,
+Lloyd's algorithm and a Weiszfeld-based k-median refinement.
+"""
+
+from repro.clustering.cost import (
+    ClusteringSolution,
+    assign_points,
+    clustering_cost,
+    cost_to_assigned_centers,
+)
+from repro.clustering.fast_kmeans_pp import FastKMeansPlusPlus, fast_kmeans_plus_plus
+from repro.clustering.kmeans_pp import bicriteria_kmeans_pp, kmeans_plus_plus
+from repro.clustering.kmedian import geometric_median, kmedian
+from repro.clustering.lloyd import KMeansResult, kmeans, lloyd_iteration
+
+__all__ = [
+    "ClusteringSolution",
+    "assign_points",
+    "clustering_cost",
+    "cost_to_assigned_centers",
+    "FastKMeansPlusPlus",
+    "fast_kmeans_plus_plus",
+    "bicriteria_kmeans_pp",
+    "kmeans_plus_plus",
+    "geometric_median",
+    "kmedian",
+    "KMeansResult",
+    "kmeans",
+    "lloyd_iteration",
+]

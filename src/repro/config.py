@@ -1,0 +1,112 @@
+"""Experiment defaults shared by the harnesses, benchmarks, and examples.
+
+The values mirror Section 5.2 of the paper ("Data Parameters"): ``k = 100``
+for the small datasets and ``k = 500`` for the large ones, coreset size
+``m = m_scalar * k`` with a default m-scalar of 40, five repetitions per
+configuration, and a small uniform jitter added to every dataset so all
+points are unique.
+
+The module also defines the *scaled-down* experiment sizes used by default
+so the full harness completes quickly on a laptop; passing ``full=True`` (or
+setting the ``REPRO_FULL_SCALE`` environment variable) restores paper-sized
+instances.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+
+#: Default number of clusters for the small datasets (paper Section 5.2).
+DEFAULT_K_SMALL: int = 100
+#: Default number of clusters for the large datasets (Song, Cover Type, Taxi, Census).
+DEFAULT_K_LARGE: int = 500
+#: Default coreset-size scalar: m = M_SCALAR * k.
+DEFAULT_M_SCALAR: int = 40
+#: Number of repetitions over which the paper averages its measurements.
+DEFAULT_REPETITIONS: int = 5
+#: Amplitude of the uniform jitter added to make all points unique.
+DEFAULT_JITTER: float = 1e-3
+#: Default synthetic dataset size and dimension (paper Section 5.2).
+DEFAULT_SYNTHETIC_N: int = 50_000
+DEFAULT_SYNTHETIC_D: int = 50
+
+
+def full_scale_enabled() -> bool:
+    """Whether paper-sized experiments were requested via the environment."""
+    return os.environ.get("REPRO_FULL_SCALE", "0") not in ("", "0", "false", "False")
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Sizes used by the experiment harnesses.
+
+    Attributes
+    ----------
+    synthetic_n / synthetic_d:
+        Size of the artificial datasets.
+    k_small / k_large:
+        Number of clusters for the small / large dataset groups.
+    m_scalar:
+        Coreset size divided by ``k``.
+    repetitions:
+        Number of repeated runs per configuration.
+    dataset_fraction:
+        Fraction of each realistic dataset's documented size to generate;
+        1.0 reproduces the paper-scale instance.
+    """
+
+    synthetic_n: int = 10_000
+    synthetic_d: int = 20
+    k_small: int = 20
+    k_large: int = 50
+    m_scalar: int = 40
+    repetitions: int = 3
+    dataset_fraction: float = 0.02
+
+    @classmethod
+    def paper(cls) -> "ExperimentScale":
+        """Paper-sized configuration (Section 5.2 of the paper)."""
+        return cls(
+            synthetic_n=DEFAULT_SYNTHETIC_N,
+            synthetic_d=DEFAULT_SYNTHETIC_D,
+            k_small=DEFAULT_K_SMALL,
+            k_large=DEFAULT_K_LARGE,
+            m_scalar=DEFAULT_M_SCALAR,
+            repetitions=DEFAULT_REPETITIONS,
+            dataset_fraction=1.0,
+        )
+
+    @classmethod
+    def quick(cls) -> "ExperimentScale":
+        """Small configuration for CI / laptop runs (the default)."""
+        return cls()
+
+    @classmethod
+    def from_environment(cls) -> "ExperimentScale":
+        """Pick the paper scale when ``REPRO_FULL_SCALE`` is set, else quick."""
+        return cls.paper() if full_scale_enabled() else cls.quick()
+
+
+@dataclass(frozen=True)
+class SamplerConfiguration:
+    """Default parameters for each sampler used across the harnesses."""
+
+    k: int = DEFAULT_K_SMALL
+    z: int = 2
+    welterweight_j: int = 0  # 0 means "log2(k)", the paper's default
+    seed: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+#: Datasets considered "large" by the paper (they use k = 500).
+LARGE_DATASETS: Tuple[str, ...] = ("song", "covtype", "taxi", "census")
+
+
+def default_k_for(dataset_name: str, scale: ExperimentScale) -> int:
+    """The paper's per-dataset default number of clusters, at the given scale."""
+    if dataset_name.lower() in LARGE_DATASETS:
+        return scale.k_large
+    return scale.k_small

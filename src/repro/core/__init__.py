@@ -1,0 +1,53 @@
+"""The paper's primary contribution: coreset constructions for k-means / k-median.
+
+This package contains the compression algorithms compared throughout the
+paper, all exposed behind the common :class:`~repro.core.base.CoresetConstruction`
+interface so that the static, streaming, and distributed harnesses can treat
+them as interchangeable black boxes:
+
+* :class:`~repro.core.uniform.UniformSampling` — sublinear-time baseline.
+* :class:`~repro.core.sensitivity.LightweightCoreset` — sensitivities w.r.t.
+  the dataset mean (j = 1) [6].
+* :class:`~repro.core.sensitivity.WelterweightCoreset` — sensitivities w.r.t.
+  a j-means solution, 1 < j < k (the paper's interpolation).
+* :class:`~repro.core.sensitivity.SensitivitySampling` — standard sensitivity
+  sampling w.r.t. a k-means++ solution [37, 47].
+* :class:`~repro.core.fast_coreset.FastCoreset` — Algorithm 1, the paper's
+  Õ(nd)-time strong-coreset construction, optionally preceded by the
+  spread-reduction step of Section 4.
+"""
+
+from repro.core.base import CoresetConstruction
+from repro.core.coreset import Coreset, merge_coresets
+from repro.core.fast_coreset import FastCoreset, fast_coreset
+from repro.core.sensitivity import (
+    LightweightCoreset,
+    SensitivitySampling,
+    WelterweightCoreset,
+    sensitivity_scores,
+)
+from repro.core.spread_reduction import (
+    CrudeApproximation,
+    SpreadReductionResult,
+    crude_cost_upper_bound,
+    reduce_spread,
+)
+from repro.core.uniform import UniformSampling, uniform_sample
+
+__all__ = [
+    "CoresetConstruction",
+    "Coreset",
+    "merge_coresets",
+    "FastCoreset",
+    "fast_coreset",
+    "LightweightCoreset",
+    "SensitivitySampling",
+    "WelterweightCoreset",
+    "sensitivity_scores",
+    "CrudeApproximation",
+    "SpreadReductionResult",
+    "crude_cost_upper_bound",
+    "reduce_spread",
+    "UniformSampling",
+    "uniform_sample",
+]

@@ -1,0 +1,91 @@
+"""Common interface for every compression algorithm in the library.
+
+The paper's experiments treat each sampler as a black box that maps a
+(weighted) dataset and a target size ``m`` to a weighted subset.  Encoding
+that contract once in :class:`CoresetConstruction` lets the static sweep
+(Table 4), the streaming merge-&-reduce harness (Table 5) and the MapReduce
+simulation (Section 2.3) run any sampler without special-casing.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from repro.core.coreset import Coreset
+from repro.utils.rng import SeedLike
+from repro.utils.validation import check_points, check_sample_size, check_weights
+
+
+class CoresetConstruction(abc.ABC):
+    """Abstract base class for samplers producing weighted compressions.
+
+    Subclasses implement :meth:`_sample`; the public :meth:`sample` method
+    validates arguments and normalises the inputs so implementations can
+    assume a clean ``(n, d)`` float array and a length-``n`` weight vector.
+
+    Attributes
+    ----------
+    name:
+        Short identifier used in experiment tables ("uniform",
+        "lightweight", "welterweight", "sensitivity", "fast_coreset", ...).
+    z:
+        Cost exponent the construction targets (1 = k-median, 2 = k-means).
+    """
+
+    #: Overridden by subclasses; used as the ``method`` field of the coresets.
+    name: str = "abstract"
+
+    def __init__(self, *, z: int = 2, seed: SeedLike = None) -> None:
+        self.z = z
+        self.seed = seed
+
+    # ----------------------------------------------------------------- API
+    def sample(
+        self,
+        points: np.ndarray,
+        m: int,
+        *,
+        weights: Optional[np.ndarray] = None,
+        seed: SeedLike = None,
+    ) -> Coreset:
+        """Compress ``points`` into a weighted subset of size ``m``.
+
+        Parameters
+        ----------
+        points:
+            Array of shape ``(n, d)``.
+        m:
+            Target compression size.  Must not exceed ``n``.
+        weights:
+            Optional input weights; needed when re-compressing an existing
+            coreset, as the streaming and MapReduce pipelines do.
+        seed:
+            Per-call randomness override.  When ``None`` the seed supplied at
+            construction time is used, which keeps repeated experiment runs
+            reproducible while still allowing the harness to vary seeds
+            across repetitions.
+        """
+        points = check_points(points)
+        weights = check_weights(weights, points.shape[0])
+        m = check_sample_size(m, points.shape[0])
+        effective_seed = seed if seed is not None else self.seed
+        coreset = self._sample(points, weights, m, effective_seed)
+        coreset.method = self.name
+        return coreset
+
+    @abc.abstractmethod
+    def _sample(
+        self,
+        points: np.ndarray,
+        weights: np.ndarray,
+        m: int,
+        seed: SeedLike,
+    ) -> Coreset:
+        """Produce the compression; inputs are already validated."""
+
+    # -------------------------------------------------------------- helpers
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r}, z={self.z})"

@@ -1,0 +1,307 @@
+"""Spread reduction: Algorithms 2 and 3 of the paper (Section 4).
+
+The quadtree-based ``Fast-kmeans++`` runs in ``~O(nd log Delta)`` time, and
+the paper exhibits datasets whose spread ``Delta`` grows linearly with ``n``
+(Table 1), so the ``log Delta`` factor is not benign.  Section 4 removes it
+in two steps:
+
+1. **Crude-Approx (Algorithm 2)** — compute, in ``~O(nd log log Delta)``
+   time, an upper bound ``U`` on the optimal cost that is at most a
+   ``poly(n, d, log Delta)`` factor too large.  The bound comes from the
+   coarsest quadtree level at which the input occupies at least ``k + 1``
+   cells (Lemma 4.1).
+2. **Reduce-Spread (Algorithm 3)** — place a random grid of side
+   ``r = sqrt(d) * n^2 * U`` (so no optimal cluster is split, Lemma 4.3),
+   translate far-apart occupied cells towards each other to cap the diameter
+   at ``O(d n^2 U k)``, and round coordinates to multiples of
+   ``g = U / (n^4 d^2 log Delta)`` to lower-bound the minimum distance.  The
+   resulting dataset ``P'`` has spread ``poly(n, d, log Delta)`` and any
+   reasonable solution on ``P'`` converts back to one on ``P`` with the same
+   cost up to an additive ``OPT / n`` (Lemma 4.5 / Theorem 4.6).
+
+Because the reduction only *translates* whole groups of points and *rounds*
+coordinates, point indices are preserved: a coreset computed on ``P'`` can be
+re-expressed on ``P`` simply by re-reading the sampled indices from the
+original array, which is exactly how :class:`repro.core.fast_coreset.FastCoreset`
+uses this module.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.geometry.distances import diameter_upper_bound
+from repro.geometry.grid import assign_to_grid, count_distinct_cells, random_grid_shift
+from repro.geometry.quadtree import compute_spread
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_integer, check_points, check_power
+
+
+# --------------------------------------------------------------------- Algorithm 2
+@dataclass
+class CrudeApproximation:
+    """Outcome of ``Crude-Approx`` (Algorithm 2).
+
+    Attributes
+    ----------
+    upper_bound:
+        ``U`` — an upper bound on the optimal k-median cost satisfying
+        ``OPT <= U <= poly(n, d, log Delta) * OPT`` (Lemma 4.2).  For
+        k-means, use :meth:`upper_bound_for` with ``z = 2`` (Lemma 8.1).
+    level:
+        The coarsest quadtree level at which the input occupies at least
+        ``k + 1`` cells.
+    cell_side:
+        Side length of the grid cells at that level.
+    diameter:
+        The ``O(nd)`` diameter upper bound used as the root box size.
+    calls:
+        Number of ``Count-Distinct-Cells`` evaluations performed by the
+        binary search (``O(log log Delta)``).
+    """
+
+    upper_bound: float
+    level: int
+    cell_side: float
+    diameter: float
+    calls: int
+    n_points: int
+    dimension: int
+
+    def upper_bound_for(self, z: int) -> float:
+        """Cost upper bound for exponent ``z`` (Lemma 8.1 squares a k-median bound)."""
+        check_power(z)
+        if z == 1:
+            return self.upper_bound
+        return float(self.n_points) * self.upper_bound**2
+
+
+def crude_cost_upper_bound(
+    points: np.ndarray,
+    k: int,
+    *,
+    seed: SeedLike = None,
+) -> CrudeApproximation:
+    """Algorithm 2: a polynomial-factor upper bound on the optimal k-median cost.
+
+    A randomly shifted grid is laid over the data and a binary search over
+    the ``O(log Delta)`` dyadic cell sides finds the coarsest level at which
+    the input occupies at least ``k + 1`` distinct cells.  By Lemma 4.1 the
+    optimal tree-metric cost is sandwiched between ``sqrt(d) * side / 2`` and
+    ``n * sqrt(d) * 8 * side`` for that level, and by Lemma 2.2 the Euclidean
+    optimum is within another ``O(d log Delta)`` factor.
+    """
+    points = check_points(points)
+    n, d = points.shape
+    k = check_integer(k, name="k")
+    generator = as_generator(seed)
+
+    diameter = max(diameter_upper_bound(points), 1e-12)
+    shift = random_grid_shift(d, diameter, seed=generator)
+
+    if n <= k:
+        # Every point can be its own center: the optimum is zero, any tiny
+        # positive bound is valid.
+        return CrudeApproximation(
+            upper_bound=diameter,
+            level=0,
+            cell_side=diameter,
+            diameter=diameter,
+            calls=0,
+            n_points=n,
+            dimension=d,
+        )
+
+    # Dyadic levels: level l uses cells of side diameter * 2^{-l}.  Occupied
+    # cell counts are non-decreasing in l because the grids are nested.
+    spread = compute_spread(points, seed=generator)
+    max_level = max(1, int(math.ceil(math.log2(spread))) + 2)
+
+    calls = 0
+
+    def occupied(level: int) -> int:
+        nonlocal calls
+        calls += 1
+        side = diameter * (2.0 ** (-level))
+        return count_distinct_cells(points, side, shift)
+
+    # Binary search for the smallest level with at least k + 1 occupied cells.
+    low, high = 0, max_level
+    if occupied(high) <= k:
+        # Even the finest level holds at most k cells (many duplicate
+        # points); the optimum is within a cell diameter of zero.
+        side = diameter * (2.0 ** (-high))
+        upper = n * math.sqrt(d) * 8.0 * side
+        return CrudeApproximation(
+            upper_bound=max(upper, 1e-12),
+            level=high,
+            cell_side=side,
+            diameter=diameter,
+            calls=calls,
+            n_points=n,
+            dimension=d,
+        )
+    while low < high:
+        middle = (low + high) // 2
+        if occupied(middle) >= k + 1:
+            high = middle
+        else:
+            low = middle + 1
+    level = low
+    side = diameter * (2.0 ** (-level))
+    upper_bound = n * math.sqrt(d) * 8.0 * side
+    return CrudeApproximation(
+        upper_bound=float(upper_bound),
+        level=level,
+        cell_side=float(side),
+        diameter=float(diameter),
+        calls=calls,
+        n_points=n,
+        dimension=d,
+    )
+
+
+# --------------------------------------------------------------------- Algorithm 3
+@dataclass
+class SpreadReductionResult:
+    """Outcome of ``Reduce-Spread`` (Algorithm 3).
+
+    Attributes
+    ----------
+    points:
+        The substitute dataset ``P'`` (same shape and row order as the
+        input).
+    shifts:
+        Per-point translation that was subtracted, so
+        ``original ≈ points + shifts`` up to the rounding granularity.
+    granularity:
+        The rounding step ``g`` (0 when rounding was skipped because it
+        would be below floating-point resolution).
+    cell_side:
+        Side ``r`` of the random grid used for the diameter reduction.
+    upper_bound:
+        The crude cost bound ``U`` driving both steps.
+    original_spread / reduced_spread:
+        Spread estimates before and after the reduction (diagnostics).
+    """
+
+    points: np.ndarray
+    shifts: np.ndarray
+    granularity: float
+    cell_side: float
+    upper_bound: float
+    original_spread: float
+    reduced_spread: float
+    cells: Dict[int, np.ndarray] = field(default_factory=dict)
+
+    def restore(self, reduced_points: np.ndarray, indices: np.ndarray) -> np.ndarray:
+        """Map points of ``P'`` (given by their row indices) back into ``P``'s frame.
+
+        Because the reduction only translates and rounds, re-adding the
+        stored per-point shift recovers the original coordinates up to the
+        rounding granularity; for sampled *input* points the caller can
+        simply index the original array instead.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        return np.asarray(reduced_points, dtype=np.float64) + self.shifts[indices]
+
+
+def reduce_spread(
+    points: np.ndarray,
+    k: int,
+    *,
+    upper_bound: Optional[float] = None,
+    seed: SeedLike = None,
+) -> SpreadReductionResult:
+    """Algorithm 3: produce a substitute dataset ``P'`` with polynomial spread.
+
+    Parameters
+    ----------
+    points:
+        Array of shape ``(n, d)``.
+    k:
+        Number of clusters (drives the crude upper bound when none is given).
+    upper_bound:
+        Optional precomputed ``U``; when ``None`` Algorithm 2 is run first.
+    seed:
+        Randomness for the grids.
+
+    Notes
+    -----
+    The reduction is cost-preserving in the sense of Lemma 4.5: with
+    probability ``1 - 1/n`` no optimal cluster is split by the grid, every
+    pair of occupied cells keeps its adjacency status, and therefore any
+    reasonable solution on ``P'`` has the same cost as the corresponding
+    solution on ``P`` up to an additive ``OPT / n``.
+    """
+    points = check_points(points)
+    n, d = points.shape
+    k = check_integer(k, name="k")
+    generator = as_generator(seed)
+
+    original_spread = compute_spread(points, seed=generator)
+
+    if upper_bound is None:
+        upper_bound = crude_cost_upper_bound(points, k, seed=generator).upper_bound
+    upper_bound = float(upper_bound)
+    if upper_bound <= 0:
+        upper_bound = 1e-12
+
+    # --- Reduce-Diameter -------------------------------------------------
+    # Grid side r = sqrt(d) * n^2 * U guarantees (Lemma 4.3) that points of
+    # the same optimal cluster fall into the same cell w.h.p.  For practical
+    # dataset sizes that side often exceeds the data diameter, in which case
+    # the translation step is a no-op — exactly what the theory predicts
+    # (the spread is already polynomial when log Delta is small).
+    cell_side = math.sqrt(d) * float(n) ** 2 * upper_bound
+    shift = random_grid_shift(d, cell_side, seed=generator)
+    assignment = assign_to_grid(points, cell_side, shift)
+    centers = assignment.cell_centers()
+
+    reduced = points.copy()
+    shifts = np.zeros_like(points)
+    cell_ids = sorted(assignment.cells)
+    if len(cell_ids) > 1:
+        center_matrix = np.stack([centers[cell_id] for cell_id in cell_ids], axis=0)
+        for coordinate in range(d):
+            order = np.argsort(center_matrix[:, coordinate], kind="stable")
+            cumulative_shift = 0.0
+            previous_value = None
+            for position in order:
+                value = center_matrix[position, coordinate]
+                if previous_value is not None:
+                    gap = value - previous_value
+                    if gap >= 2.0 * cell_side:
+                        cumulative_shift += gap - 2.0 * cell_side
+                previous_value = value
+                if cumulative_shift > 0.0:
+                    members = assignment.cells[cell_ids[position]]
+                    reduced[members, coordinate] -= cumulative_shift
+                    shifts[members, coordinate] += cumulative_shift
+
+    # --- Reduce-Min-Distance ---------------------------------------------
+    log_delta = max(1.0, math.log2(max(original_spread, 2.0)))
+    granularity = upper_bound / (float(n) ** 2 * float(d) * log_delta)
+    scale = float(np.abs(reduced).max()) if reduced.size else 0.0
+    if granularity > 0 and scale > 0 and granularity > scale * 1e-12:
+        reduced = np.round(reduced / granularity) * granularity
+    else:
+        # Rounding below floating-point resolution would be a no-op (or a
+        # numerical hazard); skipping it only makes P' more accurate.
+        granularity = 0.0
+
+    reduced_spread = compute_spread(reduced, seed=generator)
+    return SpreadReductionResult(
+        points=reduced,
+        shifts=shifts,
+        granularity=float(granularity),
+        cell_side=float(cell_side),
+        upper_bound=upper_bound,
+        original_spread=float(original_spread),
+        reduced_spread=float(reduced_spread),
+        cells=dict(assignment.cells),
+    )

@@ -1,0 +1,370 @@
+"""The paper's artificial datasets (Section 5.2) and the Table 1 spread dataset.
+
+Each generator is "constructed to emphasize strengths and weaknesses of the
+various sampling schemas":
+
+* **c-outlier** — ``n - c`` points at one location and ``c`` points far away;
+  trivial for anything that reads the data, fatal for uniform sampling.
+* **geometric** — ``c*k`` points on the first simplex vertex, ``c*k/r`` on the
+  second, and so on; many regions of interest with geometrically decaying
+  mass.
+* **Gaussian mixture** — scattered Gaussian clusters whose sizes diverge
+  exponentially with the imbalance parameter ``gamma``.
+* **benchmark** — the coreset stress-test of Schwiegelshohn and
+  Sheikh-Omar [57]: every reasonable k-means solution has the same cost but
+  the solutions are maximally far apart, punishing constructions that lean
+  on one particular approximate solution.
+* **high-spread** — the Table 1 construction whose spread ``Delta`` grows
+  with a parameter ``r``, demonstrating the ``log Delta`` runtime dependency
+  of quadtree methods.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.config import DEFAULT_JITTER, DEFAULT_SYNTHETIC_D, DEFAULT_SYNTHETIC_N
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_integer, check_points
+
+
+@dataclass
+class Dataset:
+    """A generated dataset together with its provenance.
+
+    Attributes
+    ----------
+    name:
+        Registry name ("c_outlier", "gaussian", "adult", ...).
+    points:
+        Array of shape ``(n, d)``.
+    labels:
+        Ground-truth cluster labels when the generator knows them, else
+        ``None``.  They are only used for diagnostics, never by the
+        algorithms.
+    parameters:
+        The generator arguments, recorded for experiment provenance.
+    """
+
+    name: str
+    points: np.ndarray
+    labels: Optional[np.ndarray] = None
+    parameters: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def n(self) -> int:
+        """Number of points."""
+        return int(self.points.shape[0])
+
+    @property
+    def d(self) -> int:
+        """Number of features."""
+        return int(self.points.shape[1])
+
+
+def add_uniform_jitter(
+    points: np.ndarray,
+    *,
+    amplitude: float = DEFAULT_JITTER,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Add the paper's uniform noise ``0 <= eta_i <= amplitude`` per dimension.
+
+    Section 5.2: "In all real and artificial datasets, we add random uniform
+    noise ... in order to make all points unique."
+    """
+    points = check_points(points)
+    generator = as_generator(seed)
+    return points + generator.uniform(0.0, amplitude, size=points.shape)
+
+
+# --------------------------------------------------------------------- c-outlier
+def c_outlier_dataset(
+    n: int = DEFAULT_SYNTHETIC_N,
+    d: int = DEFAULT_SYNTHETIC_D,
+    *,
+    n_outliers: int = 5,
+    outlier_distance: float = 1_000.0,
+    jitter: float = DEFAULT_JITTER,
+    seed: SeedLike = None,
+) -> Dataset:
+    """``n - c`` points at the origin and ``c`` points a large distance away.
+
+    Parameters
+    ----------
+    n, d:
+        Dataset size and dimensionality.
+    n_outliers:
+        The ``c`` of the paper's description.  The default is deliberately
+        tiny so that a uniform sample of the paper's default size
+        (``m = 40k``) misses the outlier cluster with substantial
+        probability — the failure mode the dataset exists to expose.
+    outlier_distance:
+        How far (in every coordinate of the first axis) the outliers sit.
+    jitter:
+        Amplitude of the uniqueness jitter.
+    seed:
+        Randomness source.
+    """
+    n = check_integer(n, name="n")
+    d = check_integer(d, name="d")
+    n_outliers = check_integer(n_outliers, name="n_outliers", minimum=1)
+    if n_outliers >= n:
+        raise ValueError("n_outliers must be smaller than n")
+    generator = as_generator(seed)
+    points = np.zeros((n, d), dtype=np.float64)
+    points[:n_outliers, 0] = outlier_distance
+    labels = np.zeros(n, dtype=np.int64)
+    labels[:n_outliers] = 1
+    points = add_uniform_jitter(points, amplitude=jitter, seed=generator)
+    return Dataset(
+        name="c_outlier",
+        points=points,
+        labels=labels,
+        parameters={"n": n, "d": d, "n_outliers": n_outliers, "outlier_distance": outlier_distance},
+    )
+
+
+# --------------------------------------------------------------------- geometric
+def geometric_dataset(
+    n: int = DEFAULT_SYNTHETIC_N,
+    d: int = DEFAULT_SYNTHETIC_D,
+    *,
+    k: int = 100,
+    c: int = 100,
+    ratio: float = 2.0,
+    scale: float = 100.0,
+    jitter: float = DEFAULT_JITTER,
+    seed: SeedLike = None,
+) -> Dataset:
+    """Simplex vertices with geometrically decaying masses.
+
+    Places ``c*k`` points at the first unit vector, ``c*k / r`` at the second,
+    ``c*k / r^2`` at the third, and so on for ``log_r(c*k)`` rounds (the
+    paper's description with ``c = 100`` and ``r = 2`` by default).  If fewer
+    than ``n`` points are produced, the remainder is assigned to the heaviest
+    vertex so the dataset always has exactly ``n`` rows.
+    """
+    n = check_integer(n, name="n")
+    d = check_integer(d, name="d")
+    if ratio <= 1.0:
+        raise ValueError(f"ratio must exceed 1, got {ratio}")
+    generator = as_generator(seed)
+    rounds = max(1, int(math.floor(math.log(c * k, ratio))))
+    rounds = min(rounds, d)  # one simplex vertex per dimension is available
+    sizes = []
+    mass = float(c * k)
+    for _ in range(rounds):
+        sizes.append(max(1, int(round(mass))))
+        mass /= ratio
+    total = sum(sizes)
+    if total > n:
+        # Trim proportionally, preserving at least one point per vertex.
+        scale_factor = n / total
+        sizes = [max(1, int(s * scale_factor)) for s in sizes]
+        total = sum(sizes)
+    sizes[0] += n - total
+
+    points = np.zeros((n, d), dtype=np.float64)
+    labels = np.zeros(n, dtype=np.int64)
+    cursor = 0
+    for vertex, size in enumerate(sizes):
+        points[cursor : cursor + size, vertex] = scale
+        labels[cursor : cursor + size] = vertex
+        cursor += size
+    points = add_uniform_jitter(points, amplitude=jitter, seed=generator)
+    return Dataset(
+        name="geometric",
+        points=points,
+        labels=labels,
+        parameters={"n": n, "d": d, "k": k, "c": c, "ratio": ratio, "rounds": len(sizes)},
+    )
+
+
+# --------------------------------------------------------------- Gaussian mixture
+def gaussian_mixture(
+    n: int = DEFAULT_SYNTHETIC_N,
+    d: int = DEFAULT_SYNTHETIC_D,
+    *,
+    n_clusters: int = 50,
+    gamma: float = 1.0,
+    cluster_spread: float = 1.0,
+    center_box: float = 100.0,
+    jitter: float = DEFAULT_JITTER,
+    seed: SeedLike = None,
+) -> Dataset:
+    """Scattered Gaussian clusters of exponentially diverging sizes.
+
+    Cluster sizes follow the paper's sequential recipe: the ``(i+1)``-st
+    cluster has size ``(n - sum_of_previous) / (kappa - i) * exp(gamma * rho)``
+    with ``rho`` uniform in ``[-0.5, 0.5]``; ``gamma = 0`` gives balanced
+    clusters and larger ``gamma`` makes the sizes diverge exponentially
+    (Table 7 sweeps ``gamma`` from 0 to 5).
+    """
+    n = check_integer(n, name="n")
+    d = check_integer(d, name="d")
+    n_clusters = check_integer(n_clusters, name="n_clusters")
+    generator = as_generator(seed)
+
+    sizes = []
+    remaining = n
+    for index in range(n_clusters):
+        clusters_left = n_clusters - index
+        if clusters_left == 1:
+            size = remaining
+        else:
+            rho = generator.uniform(-0.5, 0.5)
+            size = int(round(remaining / clusters_left * math.exp(gamma * rho)))
+            size = max(1, min(size, remaining - (clusters_left - 1)))
+        sizes.append(size)
+        remaining -= size
+    centers = generator.uniform(-center_box, center_box, size=(n_clusters, d))
+
+    blocks = []
+    labels = np.empty(n, dtype=np.int64)
+    cursor = 0
+    for index, size in enumerate(sizes):
+        blocks.append(centers[index] + generator.normal(scale=cluster_spread, size=(size, d)))
+        labels[cursor : cursor + size] = index
+        cursor += size
+    points = np.concatenate(blocks, axis=0)
+    points = add_uniform_jitter(points, amplitude=jitter, seed=generator)
+    return Dataset(
+        name="gaussian",
+        points=points,
+        labels=labels,
+        parameters={
+            "n": n,
+            "d": d,
+            "n_clusters": n_clusters,
+            "gamma": gamma,
+            "cluster_spread": cluster_spread,
+        },
+    )
+
+
+# -------------------------------------------------------------------- benchmark
+def _single_benchmark_instance(
+    k: int,
+    d: int,
+    generator: np.random.Generator,
+    *,
+    scale: float,
+    offset_box: float,
+) -> np.ndarray:
+    """One benchmark sub-instance in the spirit of [57].
+
+    The construction places ``k`` groups, each consisting of a point at a
+    simplex vertex and a mirrored partner, so that picking either member of
+    every group yields a k-means solution of identical cost — the optimal
+    solutions are therefore numerous and maximally spread out in solution
+    space.  A random offset decorrelates the sub-instances.
+    """
+    dims = max(k, 2)
+    base = np.zeros((2 * k, dims), dtype=np.float64)
+    for group in range(k):
+        base[2 * group, group % dims] = scale
+        base[2 * group + 1, group % dims] = -scale
+    if dims < d:
+        padded = np.zeros((2 * k, d), dtype=np.float64)
+        padded[:, :dims] = base
+        base = padded
+    else:
+        base = base[:, :d]
+    offset = generator.uniform(-offset_box, offset_box, size=(1, d))
+    return base + offset
+
+
+def benchmark_dataset(
+    k: int = 100,
+    d: int = DEFAULT_SYNTHETIC_D,
+    *,
+    n: int = DEFAULT_SYNTHETIC_N,
+    c1: float = 2.0,
+    c2: float = 2.0,
+    scale: float = 50.0,
+    offset_box: float = 500.0,
+    jitter: float = DEFAULT_JITTER,
+    seed: SeedLike = None,
+) -> Dataset:
+    """The benchmark stress-test of [57], as parameterised in the paper.
+
+    Three sub-instances of sizes ``k1 = k / c1``, ``k2 = (k - k1) / c2`` and
+    ``k3 = k - k1 - k2`` are generated and combined after random offsets, so
+    the *structure* of the dataset is fully determined by the number of
+    centers ``k``.  Every group location is replicated so the dataset has
+    approximately ``n`` rows (each replica receives the uniqueness jitter),
+    which keeps the instance hard for solution-dependent samplers while
+    giving it a realistic size.
+    """
+    k = check_integer(k, name="k")
+    d = check_integer(d, name="d")
+    n = check_integer(n, name="n")
+    generator = as_generator(seed)
+    k1 = max(1, int(round(k / c1)))
+    k2 = max(1, int(round((k - k1) / c2)))
+    k3 = max(1, k - k1 - k2)
+    pieces = [
+        _single_benchmark_instance(size, d, generator, scale=scale, offset_box=offset_box)
+        for size in (k1, k2, k3)
+    ]
+    locations = np.concatenate(pieces, axis=0)
+    replication = max(1, n // locations.shape[0])
+    points = np.repeat(locations, replication, axis=0)
+    points = add_uniform_jitter(points, amplitude=jitter, seed=generator)
+    return Dataset(
+        name="benchmark",
+        points=points,
+        labels=None,
+        parameters={"k": k, "d": d, "k1": k1, "k2": k2, "k3": k3, "replication": replication},
+    )
+
+
+# ------------------------------------------------------------------ high spread
+def high_spread_dataset(
+    n: int = DEFAULT_SYNTHETIC_N,
+    *,
+    r: int = 20,
+    background_fraction: float = 0.9,
+    jitter: float = 0.0,
+    seed: SeedLike = None,
+) -> Dataset:
+    """The Table 1 dataset whose spread grows with ``r``.
+
+    ``n - n'`` points are uniform in the square ``[-1, 1]^2``; the remaining
+    ``n'`` points form ``n'/r`` copies of the geometric sequence
+    ``(x, 1), (x, 0.5), ..., (x, 0.5^r)`` (each copy at a different ``x``), so
+    ``log Delta`` grows linearly with ``r`` while the dataset size stays
+    fixed.
+    """
+    n = check_integer(n, name="n")
+    r = check_integer(r, name="r")
+    generator = as_generator(seed)
+    n_background = int(n * background_fraction)
+    n_sequence = n - n_background
+    copies = max(1, n_sequence // r)
+    sequence_points = []
+    for copy in range(copies):
+        x = generator.uniform(-1.0, 1.0)
+        exponents = np.arange(r, dtype=np.float64)
+        ys = 0.5**exponents
+        block = np.stack([np.full(r, x), ys], axis=1)
+        sequence_points.append(block)
+    sequence = np.concatenate(sequence_points, axis=0)[:n_sequence]
+    if sequence.shape[0] < n_sequence:
+        padding = generator.uniform(-1.0, 1.0, size=(n_sequence - sequence.shape[0], 2))
+        sequence = np.concatenate([sequence, padding], axis=0)
+    background = generator.uniform(-1.0, 1.0, size=(n_background, 2))
+    points = np.concatenate([background, sequence], axis=0)
+    if jitter > 0:
+        points = add_uniform_jitter(points, amplitude=jitter, seed=generator)
+    return Dataset(
+        name="high_spread",
+        points=points,
+        labels=None,
+        parameters={"n": n, "r": r, "background_fraction": background_fraction},
+    )

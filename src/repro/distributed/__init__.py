@@ -1,0 +1,13 @@
+"""Distributed (MapReduce-style) coreset aggregation.
+
+Section 2.3 of the paper explains why strong coresets are "embarrassingly
+parallel": coresets of disjoint data shards compose by union, and their size
+is independent of the shard sizes, so a single MapReduce round — every
+worker compresses its shard, the host unions the messages and optionally
+re-compresses — yields a coreset of the full dataset whose communication
+volume is independent of ``n``.
+"""
+
+from repro.distributed.mapreduce import MapReduceCoresetAggregator, MapReduceRound
+
+__all__ = ["MapReduceCoresetAggregator", "MapReduceRound"]

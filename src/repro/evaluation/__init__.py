@@ -1,0 +1,27 @@
+"""Evaluation metrics: coreset distortion and downstream solution quality.
+
+Verifying the coreset property exactly is co-NP-hard [57], so the paper (and
+this reproduction) uses the *coreset distortion* proxy: solve the clustering
+problem on the compression and compare the solution's cost on the
+compression against its cost on the full dataset.  Downstream quality
+(Table 8) instead asks which compression yields the best centers for the
+original data.
+"""
+
+from repro.evaluation.distortion import (
+    DistortionReport,
+    coreset_distortion,
+    distortion_of_solution,
+)
+from repro.evaluation.solution_quality import solution_cost_on_dataset
+from repro.evaluation.tables import ExperimentRow, format_table, rows_to_markdown
+
+__all__ = [
+    "DistortionReport",
+    "coreset_distortion",
+    "distortion_of_solution",
+    "solution_cost_on_dataset",
+    "ExperimentRow",
+    "format_table",
+    "rows_to_markdown",
+]

@@ -1,0 +1,148 @@
+"""The "cautious user" advisor from the paper's takeaways (Section 5.5).
+
+The paper's practical guideline: uniform sampling usually works, but it
+fails exactly when a small fraction of the points carries a large share of
+the clustering cost — rare outliers, tiny clusters, heavy class imbalance.
+Checking whether a dataset is benign requires an approximate clustering,
+which costs as much as building a coreset; this module packages that check
+so a pipeline can make the decision explicitly.
+
+:func:`diagnose_dataset` computes cheap structural statistics from a
+k-means++ solution on a subsample (cluster-size imbalance, the share of the
+cost carried by the costliest points, and the sensitivity concentration) and
+:func:`recommend_sampler` turns them into one of the paper's three answers:
+``"uniform"`` (cheap sampling is safe), ``"lightweight"`` (mild structure —
+a mean-based compression suffices), or ``"fast_coreset"`` (the data has the
+kind of structure that breaks cheap sampling; pay for the guarantee).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.clustering.cost import per_point_costs
+from repro.clustering.kmeans_pp import kmeans_plus_plus
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_integer, check_points
+
+
+@dataclass
+class DatasetDiagnosis:
+    """Structural statistics that predict whether cheap sampling is safe.
+
+    Attributes
+    ----------
+    cluster_imbalance:
+        Ratio of the largest to the smallest cluster mass in the probe
+        solution (1 = perfectly balanced).
+    top_cost_share:
+        Fraction of the total cost carried by the costliest 1% of points;
+        close to 1 means a few points dominate the objective — exactly what
+        uniform sampling misses.
+    smallest_cluster_fraction:
+        Mass of the smallest probe cluster divided by ``n``; tiny values
+        flag clusters a uniform sample of moderate size would skip.
+    probe_k:
+        Number of centers used by the probe solution.
+    sample_size:
+        Number of points the probe actually looked at.
+    """
+
+    cluster_imbalance: float
+    top_cost_share: float
+    smallest_cluster_fraction: float
+    probe_k: int
+    sample_size: int
+
+
+def diagnose_dataset(
+    points: np.ndarray,
+    k: int,
+    *,
+    probe_size: int = 20_000,
+    seed: SeedLike = None,
+) -> DatasetDiagnosis:
+    """Compute the structural statistics behind the sampler recommendation.
+
+    The probe runs k-means++ on a uniform subsample (the diagnosis itself
+    must stay cheap); its cluster sizes and per-point costs are all that is
+    needed to detect the dangerous structures.
+    """
+    points = check_points(points)
+    k = check_integer(k, name="k")
+    generator = as_generator(seed)
+    n = points.shape[0]
+    if n > probe_size:
+        subset = points[generator.choice(n, size=probe_size, replace=False)]
+    else:
+        subset = points
+    probe_k = min(k, max(2, subset.shape[0] // 2))
+    solution = kmeans_plus_plus(subset, probe_k, seed=generator)
+    costs, assignment = per_point_costs(subset, solution.centers)
+    sizes = np.bincount(assignment, minlength=probe_k).astype(np.float64)
+    occupied = sizes[sizes > 0]
+    imbalance = float(occupied.max() / occupied.min()) if occupied.size else 1.0
+
+    total_cost = float(costs.sum())
+    if total_cost <= 0:
+        top_share = 0.0
+    else:
+        top_count = max(1, int(0.01 * costs.shape[0]))
+        top_share = float(np.sort(costs)[-top_count:].sum() / total_cost)
+
+    smallest_fraction = float(occupied.min() / subset.shape[0]) if occupied.size else 1.0
+    return DatasetDiagnosis(
+        cluster_imbalance=imbalance,
+        top_cost_share=top_share,
+        smallest_cluster_fraction=smallest_fraction,
+        probe_k=probe_k,
+        sample_size=int(subset.shape[0]),
+    )
+
+
+def recommend_sampler(
+    points: np.ndarray,
+    k: int,
+    *,
+    coreset_size: Optional[int] = None,
+    probe_size: int = 20_000,
+    seed: SeedLike = None,
+) -> str:
+    """Recommend ``"uniform"``, ``"lightweight"`` or ``"fast_coreset"`` for a dataset.
+
+    Parameters
+    ----------
+    points:
+        The dataset to compress.
+    k:
+        Number of clusters the compression must support.
+    coreset_size:
+        Planned compression size (defaults to the paper's ``40 * k``); the
+        thresholds scale with it because a larger sample tolerates rarer
+        structures.
+    probe_size, seed:
+        Probe subsample size and randomness.
+
+    Notes
+    -----
+    The decision mirrors Section 5.5 of the paper: uniform sampling is safe
+    when clusters are balanced and no small set of points dominates the
+    cost; once either condition fails, the cost of verifying it is already
+    comparable to the cost of a Fast-Coreset, so the guarantee is worth
+    paying for.
+    """
+    diagnosis = diagnose_dataset(points, k, probe_size=probe_size, seed=seed)
+    m = coreset_size if coreset_size is not None else 40 * k
+    n = points.shape[0]
+    # Expected number of probe points from the smallest cluster that a
+    # uniform sample of size m would include.
+    expected_hits = diagnosis.smallest_cluster_fraction * m
+    if diagnosis.top_cost_share > 0.5 or expected_hits < 2.0:
+        return "fast_coreset"
+    if diagnosis.cluster_imbalance > 10.0 or diagnosis.top_cost_share > 0.25:
+        return "lightweight"
+    _ = n  # documented for readers: thresholds are size-free by design
+    return "uniform"

@@ -1,0 +1,92 @@
+"""Plain-data experiment rows and table formatting.
+
+Every experiment harness in :mod:`repro.experiments` returns a list of
+:class:`ExperimentRow` objects; the pytest benchmarks, the examples, and
+EXPERIMENTS.md all render those rows through the helpers here, so the
+numbers reported in each place come from a single code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+
+@dataclass
+class ExperimentRow:
+    """One row of a reproduced table or one bar of a reproduced figure.
+
+    Attributes
+    ----------
+    experiment:
+        Identifier of the paper artefact ("table4", "figure1", ...).
+    dataset:
+        Dataset name the row refers to.
+    method:
+        Sampler / algorithm name.
+    values:
+        Named numeric results (distortion, runtime seconds, cost, ...).
+    parameters:
+        The configuration that produced the row (k, m, gamma, ...).
+    """
+
+    experiment: str
+    dataset: str
+    method: str
+    values: Dict[str, float] = field(default_factory=dict)
+    parameters: Dict[str, float] = field(default_factory=dict)
+
+    def value(self, name: str) -> float:
+        """Shortcut for ``values[name]``."""
+        return self.values[name]
+
+
+def format_table(
+    rows: Sequence[ExperimentRow],
+    *,
+    value_names: Sequence[str],
+    float_format: str = "{:.3g}",
+) -> str:
+    """Render rows as a fixed-width text table (printed by the benchmarks)."""
+    headers = ["dataset", "method", *value_names]
+    table: List[List[str]] = [list(headers)]
+    for row in rows:
+        rendered = [row.dataset, row.method]
+        for name in value_names:
+            value = row.values.get(name, float("nan"))
+            rendered.append(float_format.format(value))
+        table.append(rendered)
+    widths = [max(len(line[column]) for line in table) for column in range(len(headers))]
+    lines = []
+    for index, line in enumerate(table):
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(line, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def rows_to_markdown(
+    rows: Sequence[ExperimentRow],
+    *,
+    value_names: Sequence[str],
+    float_format: str = "{:.3g}",
+) -> str:
+    """Render rows as a GitHub-flavoured markdown table (used by EXPERIMENTS.md)."""
+    header = "| dataset | method | " + " | ".join(value_names) + " |"
+    separator = "|" + "---|" * (2 + len(value_names))
+    lines = [header, separator]
+    for row in rows:
+        cells = [row.dataset, row.method]
+        for name in value_names:
+            value = row.values.get(name, float("nan"))
+            cells.append(float_format.format(value))
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def group_rows(rows: Iterable[ExperimentRow], key: str) -> Dict[str, List[ExperimentRow]]:
+    """Group rows by ``dataset`` or ``method`` (any attribute name)."""
+    grouped: Dict[str, List[ExperimentRow]] = {}
+    for row in rows:
+        grouped.setdefault(getattr(row, key), []).append(row)
+    return grouped

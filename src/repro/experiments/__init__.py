@@ -1,0 +1,56 @@
+"""Experiment harnesses — one module per table / figure of the paper.
+
+Every harness is a plain function that returns a list of
+:class:`~repro.evaluation.tables.ExperimentRow` objects; the pytest
+benchmarks under ``benchmarks/`` call these functions and print the rendered
+tables, and ``EXPERIMENTS.md`` records the paper-vs-measured comparison.
+
+========================  =======================================================
+Paper artefact            Harness
+========================  =======================================================
+Table 1                   :func:`repro.experiments.spread_runtime.table1_spread_runtime`
+Figure 1                  :func:`repro.experiments.runtime_vs_k.figure1_runtime_vs_k`
+Table 2                   :func:`repro.experiments.distortion_ratios.table2_distortion_ratios`
+Table 3                   :func:`repro.experiments.dataset_summary.table3_dataset_summary`
+Table 4 / Figure 2        :func:`repro.experiments.sampler_sweep.table4_sampler_sweep`
+Table 5 / Figure 5        :func:`repro.experiments.streaming_comparison.table5_streaming_comparison`
+Table 6                   :func:`repro.experiments.bico_evaluation.table6_bico_distortion`
+Table 7                   :func:`repro.experiments.imbalance_sweep.table7_imbalance_sweep`
+Table 8                   :func:`repro.experiments.downstream_quality.table8_downstream_cost`
+Table 9                   :func:`repro.experiments.streamkm_evaluation.table9_streamkm_distortion`
+Figure 3                  :func:`repro.experiments.cluster_capture.figure3_cluster_capture`
+Figure 4                  :func:`repro.experiments.kmedian_sweep.figure4_kmedian_sweep`
+Ablations (DESIGN.md §4)  :mod:`repro.experiments.ablations`
+========================  =======================================================
+"""
+
+from repro.experiments.common import evaluate_sampler, make_samplers
+from repro.experiments.runtime_vs_k import figure1_runtime_vs_k
+from repro.experiments.spread_runtime import table1_spread_runtime
+from repro.experiments.distortion_ratios import table2_distortion_ratios
+from repro.experiments.dataset_summary import table3_dataset_summary
+from repro.experiments.sampler_sweep import table4_sampler_sweep
+from repro.experiments.streaming_comparison import table5_streaming_comparison
+from repro.experiments.bico_evaluation import table6_bico_distortion
+from repro.experiments.imbalance_sweep import table7_imbalance_sweep
+from repro.experiments.downstream_quality import table8_downstream_cost
+from repro.experiments.streamkm_evaluation import table9_streamkm_distortion
+from repro.experiments.cluster_capture import figure3_cluster_capture
+from repro.experiments.kmedian_sweep import figure4_kmedian_sweep
+
+__all__ = [
+    "evaluate_sampler",
+    "make_samplers",
+    "figure1_runtime_vs_k",
+    "table1_spread_runtime",
+    "table2_distortion_ratios",
+    "table3_dataset_summary",
+    "table4_sampler_sweep",
+    "table5_streaming_comparison",
+    "table6_bico_distortion",
+    "table7_imbalance_sweep",
+    "table8_downstream_cost",
+    "table9_streamkm_distortion",
+    "figure3_cluster_capture",
+    "figure4_kmedian_sweep",
+]

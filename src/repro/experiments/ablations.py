@@ -1,0 +1,218 @@
+"""Ablations of the Fast-Coreset design choices called out in DESIGN.md.
+
+Four ablations, each isolating one ingredient of Algorithm 1:
+
+* **weight correction** — sensitivity sampling with and without appending
+  the bicriteria centers with mass-correcting weights;
+* **spread reduction** — Fast-Coresets with and without the Section 4
+  preprocessing (accuracy should be unchanged; the runtime difference shows
+  up on high-spread data);
+* **seeding** — the quadtree ``Fast-kmeans++`` bicriteria solution versus an
+  exact k-means++ seeding inside the same sensitivity-sampling pipeline;
+* **JL target dimension** — distortion of the Fast-Coreset as the projection
+  dimension shrinks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.config import ExperimentScale
+from repro.core import FastCoreset, SensitivitySampling
+from repro.evaluation import coreset_distortion
+from repro.evaluation.tables import ExperimentRow
+from repro.experiments.common import (
+    clamp_m,
+    dataset_for_experiment,
+    k_and_m_for,
+    row,
+)
+from repro.utils.rng import SeedLike, as_generator, random_seed_from
+from repro.utils.timer import timed
+
+
+def ablation_weight_correction(
+    *,
+    datasets: Sequence[str] = ("gaussian", "geometric", "adult"),
+    scale: Optional[ExperimentScale] = None,
+    repetitions: Optional[int] = None,
+    seed: SeedLike = 0,
+) -> List[ExperimentRow]:
+    """Sensitivity sampling with vs without the per-cluster mass correction."""
+    scale = scale or ExperimentScale.from_environment()
+    repetitions = repetitions or scale.repetitions
+    generator = as_generator(seed)
+    rows: List[ExperimentRow] = []
+    for dataset_name in datasets:
+        dataset = dataset_for_experiment(dataset_name, scale, random_seed_from(generator))
+        k, m = k_and_m_for(dataset_name, scale)
+        m = clamp_m(m, dataset.n)
+        for label, correction in (("plain", False), ("mass_corrected", True)):
+            sampler = SensitivitySampling(
+                k, include_center_correction=correction, seed=random_seed_from(generator)
+            )
+            distortions = []
+            for _ in range(repetitions):
+                coreset = sampler.sample(dataset.points, m, seed=random_seed_from(generator))
+                distortions.append(
+                    coreset_distortion(dataset.points, coreset, k, seed=random_seed_from(generator))
+                )
+            rows.append(
+                row(
+                    "ablation_weight_correction",
+                    dataset=dataset_name,
+                    method=f"sensitivity[{label}]",
+                    values={"distortion_mean": float(np.mean(distortions))},
+                    parameters={"k": float(k), "m": float(m)},
+                )
+            )
+    return rows
+
+
+def ablation_spread_reduction(
+    *,
+    r_values: Sequence[int] = (20, 50),
+    k: int = 50,
+    scale: Optional[ExperimentScale] = None,
+    repetitions: Optional[int] = None,
+    seed: SeedLike = 0,
+) -> List[ExperimentRow]:
+    """Fast-Coresets with vs without the spread-reduction preprocessing."""
+    from repro.data.synthetic import high_spread_dataset
+
+    scale = scale or ExperimentScale.from_environment()
+    repetitions = repetitions or max(1, scale.repetitions - 1)
+    generator = as_generator(seed)
+    rows: List[ExperimentRow] = []
+    for r in r_values:
+        dataset = high_spread_dataset(n=scale.synthetic_n, r=r, seed=random_seed_from(generator))
+        m = clamp_m(scale.m_scalar * k, dataset.n)
+        for label, enabled in (("with_reduction", True), ("without_reduction", False)):
+            sampler = FastCoreset(
+                k, use_spread_reduction=enabled, max_levels=64, seed=random_seed_from(generator)
+            )
+            distortions, runtimes = [], []
+            for _ in range(repetitions):
+                coreset, seconds = timed(
+                    sampler.sample, dataset.points, m, seed=random_seed_from(generator)
+                )
+                runtimes.append(seconds)
+                distortions.append(
+                    coreset_distortion(dataset.points, coreset, k, seed=random_seed_from(generator))
+                )
+            rows.append(
+                row(
+                    "ablation_spread_reduction",
+                    dataset="high_spread",
+                    method=f"fast_coreset[{label}]",
+                    values={
+                        "distortion_mean": float(np.mean(distortions)),
+                        "runtime_mean": float(np.mean(runtimes)),
+                    },
+                    parameters={"r": float(r), "k": float(k), "m": float(m)},
+                )
+            )
+    return rows
+
+
+def ablation_seeding(
+    *,
+    datasets: Sequence[str] = ("gaussian", "geometric"),
+    scale: Optional[ExperimentScale] = None,
+    repetitions: Optional[int] = None,
+    seed: SeedLike = 0,
+) -> List[ExperimentRow]:
+    """Quadtree seeding (Fast-Coreset) vs exact k-means++ seeding (sensitivity)."""
+    scale = scale or ExperimentScale.from_environment()
+    repetitions = repetitions or scale.repetitions
+    generator = as_generator(seed)
+    rows: List[ExperimentRow] = []
+    for dataset_name in datasets:
+        dataset = dataset_for_experiment(dataset_name, scale, random_seed_from(generator))
+        k, m = k_and_m_for(dataset_name, scale)
+        m = clamp_m(m, dataset.n)
+        for method, sampler in (
+            ("quadtree_seeding", FastCoreset(k, seed=random_seed_from(generator))),
+            ("kmeans++_seeding", SensitivitySampling(k, seed=random_seed_from(generator))),
+        ):
+            distortions, runtimes = [], []
+            for _ in range(repetitions):
+                coreset, seconds = timed(
+                    sampler.sample, dataset.points, m, seed=random_seed_from(generator)
+                )
+                runtimes.append(seconds)
+                distortions.append(
+                    coreset_distortion(dataset.points, coreset, k, seed=random_seed_from(generator))
+                )
+            rows.append(
+                row(
+                    "ablation_seeding",
+                    dataset=dataset_name,
+                    method=method,
+                    values={
+                        "distortion_mean": float(np.mean(distortions)),
+                        "runtime_mean": float(np.mean(runtimes)),
+                    },
+                    parameters={"k": float(k), "m": float(m)},
+                )
+            )
+    return rows
+
+
+def ablation_jl_dimension(
+    *,
+    target_dims: Sequence[int] = (4, 8, 16, 32),
+    scale: Optional[ExperimentScale] = None,
+    repetitions: Optional[int] = None,
+    seed: SeedLike = 0,
+) -> List[ExperimentRow]:
+    """Distortion of the Fast-Coreset as the JL projection dimension varies (MNIST stand-in)."""
+    from repro.geometry.johnson_lindenstrauss import JohnsonLindenstraussEmbedding
+
+    scale = scale or ExperimentScale.from_environment()
+    repetitions = repetitions or max(1, scale.repetitions - 1)
+    generator = as_generator(seed)
+    dataset = dataset_for_experiment("mnist", scale, random_seed_from(generator))
+    k, m = k_and_m_for("mnist", scale)
+    m = clamp_m(m, dataset.n)
+    rows: List[ExperimentRow] = []
+    for target_dim in target_dims:
+        distortions = []
+        for _ in range(repetitions):
+            embedding = JohnsonLindenstraussEmbedding(
+                target_dim=target_dim, seed=random_seed_from(generator)
+            )
+            projected = embedding.fit_transform(dataset.points)
+            sampler = FastCoreset(
+                k, dimension_reduction=False, seed=random_seed_from(generator)
+            )
+            # The coreset is built from the projected data but indexes the
+            # original rows, so its distortion is measured in the original
+            # space — isolating the effect of the projection dimension.
+            coreset = sampler.sample(projected, m, seed=random_seed_from(generator))
+            if coreset.indices is not None:
+                from repro.core import Coreset
+
+                original = Coreset(
+                    points=dataset.points[coreset.indices],
+                    weights=coreset.weights,
+                    indices=coreset.indices,
+                    method=coreset.method,
+                )
+            else:
+                original = coreset
+            distortions.append(
+                coreset_distortion(dataset.points, original, k, seed=random_seed_from(generator))
+            )
+        rows.append(
+            row(
+                "ablation_jl_dimension",
+                dataset="mnist",
+                method="fast_coreset",
+                values={"distortion_mean": float(np.mean(distortions))},
+                parameters={"target_dim": float(target_dim), "k": float(k), "m": float(m)},
+            )
+        )
+    return rows

@@ -1,0 +1,97 @@
+"""Table 6: BICO's coreset distortion in the static and streaming settings.
+
+The paper finds that BICO — although fast and well suited to quantisation —
+"performs consistently poorly on the coreset distortion metric".  The
+harness evaluates the BIRCH-style construction in both settings and at two
+coreset sizes, mirroring the columns of Table 6.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.config import ExperimentScale
+from repro.evaluation import coreset_distortion
+from repro.evaluation.tables import ExperimentRow
+from repro.experiments.common import (
+    ARTIFICIAL_DATASETS,
+    clamp_m,
+    dataset_for_experiment,
+    k_and_m_for,
+    row,
+)
+from repro.streaming import BicoCoreset, DataStream
+from repro.utils.rng import SeedLike, as_generator, random_seed_from
+
+#: Table 6 covers the artificial datasets plus all real datasets; the
+#: streaming columns are restricted to the artificial data, MNIST and Adult.
+TABLE6_DATASETS: Sequence[str] = (*ARTIFICIAL_DATASETS, "mnist", "adult", "star", "song", "covtype", "taxi", "census")
+TABLE6_STREAMING_DATASETS: Sequence[str] = (*ARTIFICIAL_DATASETS, "mnist", "adult")
+
+
+def table6_bico_distortion(
+    *,
+    datasets: Sequence[str] = TABLE6_DATASETS,
+    streaming_datasets: Sequence[str] = TABLE6_STREAMING_DATASETS,
+    m_scalars: Sequence[int] = (40, 80),
+    n_blocks: int = 16,
+    scale: Optional[ExperimentScale] = None,
+    repetitions: Optional[int] = None,
+    seed: SeedLike = 0,
+) -> List[ExperimentRow]:
+    """Reproduce Table 6 (BICO distortion, static m=40k / m=80k and streaming)."""
+    scale = scale or ExperimentScale.from_environment()
+    repetitions = repetitions or scale.repetitions
+    generator = as_generator(seed)
+    rows: List[ExperimentRow] = []
+    for dataset_name in datasets:
+        dataset = dataset_for_experiment(dataset_name, scale, random_seed_from(generator))
+        k, _ = k_and_m_for(dataset_name, scale)
+        for m_scalar in m_scalars:
+            m = clamp_m(m_scalar * k, dataset.n)
+            distortions = []
+            for _ in range(repetitions):
+                bico = BicoCoreset(coreset_size=m, seed=random_seed_from(generator))
+                coreset = bico.sample(dataset.points, m)
+                distortions.append(
+                    coreset_distortion(
+                        dataset.points, coreset, k, seed=random_seed_from(generator)
+                    )
+                )
+            values = np.asarray(distortions)
+            rows.append(
+                row(
+                    "table6",
+                    dataset=dataset_name,
+                    method=f"bico[static,m={m_scalar}k]",
+                    values={"distortion_mean": float(values.mean()), "distortion_var": float(values.var())},
+                    parameters={"k": float(k), "m": float(m), "m_scalar": float(m_scalar)},
+                )
+            )
+        if dataset_name in streaming_datasets:
+            k, m = k_and_m_for(dataset_name, scale)
+            m = clamp_m(m, dataset.n)
+            distortions = []
+            for _ in range(repetitions):
+                bico = BicoCoreset(coreset_size=m, seed=random_seed_from(generator))
+                for block_points, block_weights in DataStream.with_block_count(dataset.points, n_blocks):
+                    bico.insert_block(block_points, block_weights)
+                coreset = bico.to_coreset()
+                distortions.append(
+                    coreset_distortion(
+                        dataset.points, coreset, k, seed=random_seed_from(generator)
+                    )
+                )
+            values = np.asarray(distortions)
+            rows.append(
+                row(
+                    "table6",
+                    dataset=dataset_name,
+                    method="bico[streaming]",
+                    values={"distortion_mean": float(values.mean()), "distortion_var": float(values.var())},
+                    parameters={"k": float(k), "m": float(m), "n_blocks": float(n_blocks)},
+                )
+            )
+    return rows

@@ -1,0 +1,180 @@
+"""Shared plumbing for the experiment harnesses.
+
+The harnesses all follow the same pattern: build a dataset, build the
+samplers under comparison, produce a coreset per sampler per repetition,
+and evaluate distortion and runtime.  The helpers here hold that pattern so
+every table / figure module stays a short, declarative description of *what*
+the paper measured.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.config import ExperimentScale, default_k_for
+from repro.core import (
+    CoresetConstruction,
+    FastCoreset,
+    LightweightCoreset,
+    SensitivitySampling,
+    UniformSampling,
+    WelterweightCoreset,
+)
+from repro.data import load_dataset
+from repro.data.synthetic import Dataset
+from repro.evaluation import coreset_distortion
+from repro.evaluation.tables import ExperimentRow
+from repro.utils.rng import SeedLike, as_generator, random_seed_from
+from repro.utils.timer import timed
+
+#: The datasets used by the main sweeps, in the paper's presentation order.
+ARTIFICIAL_DATASETS: Sequence[str] = ("c_outlier", "geometric", "gaussian", "benchmark")
+REAL_DATASETS: Sequence[str] = ("mnist", "adult", "star", "song", "covtype", "taxi", "census")
+#: Datasets used by the streaming comparison (Table 5 restricts the real data
+#: to MNIST and Adult).
+STREAMING_DATASETS: Sequence[str] = (*ARTIFICIAL_DATASETS, "mnist", "adult")
+#: The "accelerated" samplers of the paper plus the two guaranteed ones.
+ACCELERATED_METHODS: Sequence[str] = ("uniform", "lightweight", "welterweight", "fast_coreset")
+
+
+def make_samplers(
+    k: int,
+    *,
+    z: int = 2,
+    seed: SeedLike = 0,
+    include_sensitivity: bool = False,
+    welterweight_j: Optional[int] = None,
+) -> Dict[str, CoresetConstruction]:
+    """The sampler line-up of Section 5.2, keyed by the paper's method names.
+
+    Parameters
+    ----------
+    k:
+        Number of clusters the compressions must support.
+    z:
+        1 for k-median, 2 for k-means.
+    seed:
+        Base seed; each sampler gets its own derived seed.
+    include_sensitivity:
+        Also include standard sensitivity sampling (used by Figure 1 and
+        Table 2; the later sweeps drop it because Fast-Coresets match its
+        accuracy at lower cost).
+    welterweight_j:
+        Override for the welterweight ``j`` parameter (defaults to log2 k).
+    """
+    generator = as_generator(seed)
+    samplers: Dict[str, CoresetConstruction] = {
+        "uniform": UniformSampling(z=z, seed=random_seed_from(generator)),
+        "lightweight": LightweightCoreset(z=z, seed=random_seed_from(generator)),
+        "welterweight": WelterweightCoreset(
+            k, j=welterweight_j, z=z, seed=random_seed_from(generator)
+        ),
+        "fast_coreset": FastCoreset(k, z=z, seed=random_seed_from(generator)),
+    }
+    if include_sensitivity:
+        samplers["sensitivity"] = SensitivitySampling(k, z=z, seed=random_seed_from(generator))
+    return samplers
+
+
+@dataclass
+class SamplerEvaluation:
+    """Aggregated result of evaluating one sampler on one dataset."""
+
+    mean_distortion: float
+    var_distortion: float
+    mean_runtime: float
+    std_runtime: float
+    coreset_size: float
+
+
+def evaluate_sampler(
+    points: np.ndarray,
+    sampler: CoresetConstruction,
+    m: int,
+    k: int,
+    *,
+    z: int = 2,
+    repetitions: int = 3,
+    seed: SeedLike = 0,
+    lloyd_iterations: int = 8,
+) -> SamplerEvaluation:
+    """Run ``sampler`` ``repetitions`` times and aggregate distortion and runtime.
+
+    The paper reports "means and variances ... taken over 5 runs"; the
+    repetition count is configurable so the quick harness can use fewer.
+    """
+    generator = as_generator(seed)
+    distortions: List[float] = []
+    runtimes: List[float] = []
+    sizes: List[int] = []
+    for _ in range(repetitions):
+        run_seed = random_seed_from(generator)
+        coreset, seconds = timed(sampler.sample, points, m, seed=run_seed)
+        distortion = coreset_distortion(
+            points,
+            coreset,
+            k,
+            z=z,
+            lloyd_iterations=lloyd_iterations,
+            seed=random_seed_from(generator),
+        )
+        distortions.append(distortion)
+        runtimes.append(seconds)
+        sizes.append(coreset.size)
+    distortions_array = np.asarray(distortions)
+    runtimes_array = np.asarray(runtimes)
+    return SamplerEvaluation(
+        mean_distortion=float(distortions_array.mean()),
+        var_distortion=float(distortions_array.var()),
+        mean_runtime=float(runtimes_array.mean()),
+        std_runtime=float(runtimes_array.std()),
+        coreset_size=float(np.mean(sizes)),
+    )
+
+
+def dataset_for_experiment(
+    name: str,
+    scale: ExperimentScale,
+    seed: SeedLike,
+    **overrides,
+) -> Dataset:
+    """Load a dataset at the experiment scale (thin wrapper for readability)."""
+    return load_dataset(name, scale=scale, seed=seed, **overrides)
+
+
+def k_and_m_for(name: str, scale: ExperimentScale, m_scalar: Optional[int] = None) -> tuple[int, int]:
+    """The paper's per-dataset defaults: ``k`` by dataset group, ``m = m_scalar * k``."""
+    k = default_k_for(name, scale)
+    scalar = scale.m_scalar if m_scalar is None else m_scalar
+    return k, scalar * k
+
+
+def clamp_m(m: int, n: int) -> int:
+    """Coreset sizes cannot exceed the dataset size at reduced scale."""
+    return int(min(m, max(1, n // 2)))
+
+
+def welterweight_default_j(k: int) -> int:
+    """The paper's default number of centers for welterweight coresets."""
+    return max(2, int(math.ceil(math.log2(max(k, 2)))))
+
+
+def row(
+    experiment: str,
+    dataset: str,
+    method: str,
+    values: Dict[str, float],
+    parameters: Optional[Dict[str, float]] = None,
+) -> ExperimentRow:
+    """Shorthand constructor used by the harness modules."""
+    return ExperimentRow(
+        experiment=experiment,
+        dataset=dataset,
+        method=method,
+        values=values,
+        parameters=parameters or {},
+    )

@@ -1,0 +1,39 @@
+"""Figure 4: the sampler sweep repeated for the k-median objective.
+
+The paper verifies that the k-means conclusions carry over to k-median by
+showing one run of the distortion sweep with ``z = 1`` and coreset sizes
+``m in {40k, 60k, 80k}``.  The harness simply re-parameterises the Table 4
+sweep, which keeps the two code paths identical by construction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.config import ExperimentScale
+from repro.evaluation.tables import ExperimentRow
+from repro.experiments.sampler_sweep import SWEEP_DATASETS, table4_sampler_sweep
+from repro.utils.rng import SeedLike
+
+
+def figure4_kmedian_sweep(
+    *,
+    datasets: Sequence[str] = SWEEP_DATASETS,
+    m_scalars: Sequence[int] = (40, 60, 80),
+    scale: Optional[ExperimentScale] = None,
+    repetitions: int = 1,
+    seed: SeedLike = 0,
+) -> List[ExperimentRow]:
+    """Reproduce Figure 4 (k-median distortions; one run per configuration).
+
+    The paper shows a single run "to emphasize the random nature of
+    compression quality", hence ``repetitions = 1`` by default.
+    """
+    return table4_sampler_sweep(
+        datasets=datasets,
+        m_scalars=m_scalars,
+        z=1,
+        scale=scale,
+        repetitions=repetitions,
+        seed=seed,
+    )

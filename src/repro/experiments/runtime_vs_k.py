@@ -1,0 +1,87 @@
+"""Figure 1: construction runtime vs ``k`` for sensitivity sampling and Fast-Coresets.
+
+The paper's headline runtime claim: as ``k`` grows from 50 to 400, standard
+sensitivity sampling slows down linearly (its k-means++ solution costs
+``Theta(nk)``) while Fast-Coresets only pay a logarithmic factor.  The
+harness measures both constructions on the same five datasets as the paper
+(geometric, benchmark, c-outlier, Gaussian, Adult) and also reports each
+method's slowdown factor relative to its smallest-``k`` runtime, which is
+the scale-free quantity the reproduction is judged on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.config import ExperimentScale
+from repro.core import FastCoreset, SensitivitySampling
+from repro.evaluation.tables import ExperimentRow
+from repro.experiments.common import dataset_for_experiment, row
+from repro.utils.rng import SeedLike, as_generator, random_seed_from
+from repro.utils.timer import timed
+
+#: Datasets shown in Figure 1 of the paper.
+FIGURE1_DATASETS: Sequence[str] = ("geometric", "benchmark", "c_outlier", "gaussian", "adult")
+
+
+def figure1_runtime_vs_k(
+    *,
+    k_values: Sequence[int] = (50, 100, 200, 400),
+    datasets: Sequence[str] = FIGURE1_DATASETS,
+    m_scalar: int = 10,
+    scale: Optional[ExperimentScale] = None,
+    repetitions: Optional[int] = None,
+    seed: SeedLike = 0,
+) -> List[ExperimentRow]:
+    """Reproduce Figure 1 (runtime of both constructions as ``k`` varies).
+
+    Parameters
+    ----------
+    k_values:
+        The ``k`` sweep; the paper uses 50, 100, 200, 400.
+    datasets:
+        Dataset names (resolved through the registry).
+    m_scalar:
+        Coreset size divided by ``k``; kept moderate because the runtime of
+        the construction, not of the downstream evaluation, is what Figure 1
+        reports.
+    scale, repetitions, seed:
+        Experiment scale, repetition count, and base randomness.
+    """
+    scale = scale or ExperimentScale.from_environment()
+    repetitions = repetitions or max(1, scale.repetitions - 1)
+    generator = as_generator(seed)
+    rows: List[ExperimentRow] = []
+    for dataset_name in datasets:
+        dataset = dataset_for_experiment(dataset_name, scale, random_seed_from(generator))
+        baselines = {}
+        for k in k_values:
+            m = min(m_scalar * k, dataset.n // 2)
+            for method_name, construction in (
+                ("sensitivity", SensitivitySampling(k, seed=random_seed_from(generator))),
+                ("fast_coreset", FastCoreset(k, seed=random_seed_from(generator))),
+            ):
+                runtimes = []
+                for _ in range(repetitions):
+                    _, seconds = timed(
+                        construction.sample,
+                        dataset.points,
+                        m,
+                        seed=random_seed_from(generator),
+                    )
+                    runtimes.append(seconds)
+                mean_runtime = sum(runtimes) / len(runtimes)
+                baseline = baselines.setdefault(method_name, mean_runtime)
+                rows.append(
+                    row(
+                        "figure1",
+                        dataset=dataset_name,
+                        method=method_name,
+                        values={
+                            "runtime_mean": mean_runtime,
+                            "slowdown_vs_smallest_k": mean_runtime / baseline,
+                        },
+                        parameters={"k": float(k), "m": float(m), "n": float(dataset.n)},
+                    )
+                )
+    return rows

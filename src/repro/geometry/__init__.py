@@ -1,0 +1,31 @@
+"""Geometric substrates: distances, random projections, grids and quadtrees.
+
+These modules contain no clustering-specific logic; they provide the
+Euclidean primitives the algorithms in :mod:`repro.clustering` and
+:mod:`repro.core` are built on.
+"""
+
+from repro.geometry.distances import (
+    pairwise_distances,
+    point_to_set_distances,
+    squared_point_to_set_distances,
+)
+from repro.geometry.grid import GridAssignment, assign_to_grid, random_grid_shift
+from repro.geometry.johnson_lindenstrauss import (
+    JohnsonLindenstraussEmbedding,
+    jl_target_dimension,
+)
+from repro.geometry.quadtree import QuadtreeEmbedding, compute_spread
+
+__all__ = [
+    "pairwise_distances",
+    "point_to_set_distances",
+    "squared_point_to_set_distances",
+    "GridAssignment",
+    "assign_to_grid",
+    "random_grid_shift",
+    "JohnsonLindenstraussEmbedding",
+    "jl_target_dimension",
+    "QuadtreeEmbedding",
+    "compute_spread",
+]

@@ -1,0 +1,154 @@
+"""Chunked Euclidean distance computations.
+
+The datasets the paper targets have millions of points, so the library never
+materialises a full ``n x n`` distance matrix.  Point-to-center-set distances
+are computed in row blocks whose size is bounded by
+:data:`DEFAULT_CHUNK_ELEMENTS`, keeping peak memory proportional to
+``chunk_rows * k`` regardless of ``n``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+# Upper bound on the number of float64 entries held by one temporary
+# ``chunk_rows x k`` block (~64 MB).
+DEFAULT_CHUNK_ELEMENTS: int = 8_000_000
+
+
+def _chunk_rows(n_centers: int, chunk_elements: int) -> int:
+    """Number of data rows per block so a block has ~``chunk_elements`` floats."""
+    return max(1, int(chunk_elements // max(1, n_centers)))
+
+
+def pairwise_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Dense Euclidean distance matrix between two small point sets.
+
+    Intended for center-to-center or coreset-to-center computations where
+    both inputs are small (at most a few tens of thousands of rows); use
+    :func:`point_to_set_distances` for dataset-sized inputs.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    squared = (
+        np.einsum("ij,ij->i", a, a)[:, None]
+        + np.einsum("ij,ij->i", b, b)[None, :]
+        - 2.0 * (a @ b.T)
+    )
+    np.maximum(squared, 0.0, out=squared)
+    return np.sqrt(squared)
+
+
+def squared_point_to_set_distances(
+    points: np.ndarray,
+    centers: np.ndarray,
+    *,
+    chunk_elements: int = DEFAULT_CHUNK_ELEMENTS,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Squared distance from every point to its nearest center.
+
+    Parameters
+    ----------
+    points:
+        Array of shape ``(n, d)``.
+    centers:
+        Array of shape ``(k, d)``.
+    chunk_elements:
+        Memory budget (in float64 entries) for each temporary block.
+
+    Returns
+    -------
+    (squared_distances, assignment):
+        ``squared_distances[i]`` is ``min_c ||points[i] - c||^2`` and
+        ``assignment[i]`` is the index of the nearest center.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    centers = np.asarray(centers, dtype=np.float64)
+    if centers.ndim != 2 or centers.shape[0] == 0:
+        raise ValueError(f"centers must be a non-empty 2-d array, got shape {centers.shape}")
+    n = points.shape[0]
+    k = centers.shape[0]
+    center_norms = np.einsum("ij,ij->i", centers, centers)
+    best_sq = np.empty(n, dtype=np.float64)
+    assignment = np.empty(n, dtype=np.int64)
+    rows = _chunk_rows(k, chunk_elements)
+    for start in range(0, n, rows):
+        stop = min(start + rows, n)
+        block = points[start:stop]
+        block_norms = np.einsum("ij,ij->i", block, block)
+        squared = block_norms[:, None] + center_norms[None, :] - 2.0 * (block @ centers.T)
+        np.maximum(squared, 0.0, out=squared)
+        local_assignment = np.argmin(squared, axis=1)
+        assignment[start:stop] = local_assignment
+        best_sq[start:stop] = squared[np.arange(stop - start), local_assignment]
+    return best_sq, assignment
+
+
+def point_to_set_distances(
+    points: np.ndarray,
+    centers: np.ndarray,
+    *,
+    chunk_elements: int = DEFAULT_CHUNK_ELEMENTS,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Euclidean distance from every point to its nearest center.
+
+    Same contract as :func:`squared_point_to_set_distances` but returning
+    plain (not squared) distances, which is what the k-median cost uses.
+    """
+    squared, assignment = squared_point_to_set_distances(
+        points, centers, chunk_elements=chunk_elements
+    )
+    return np.sqrt(squared), assignment
+
+
+def update_nearest_with_new_center(
+    points: np.ndarray,
+    new_center: np.ndarray,
+    best_squared: Optional[np.ndarray],
+    assignment: Optional[np.ndarray],
+    new_index: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Incrementally update nearest-center bookkeeping after adding a center.
+
+    Used by D²-sampling (k-means++): after each newly selected center only the
+    distances to that single center need to be computed, giving the standard
+    ``O(ndk)`` total seeding cost instead of ``O(ndk^2)``.
+
+    Parameters
+    ----------
+    points:
+        Array of shape ``(n, d)``.
+    new_center:
+        The newly added center of shape ``(d,)``.
+    best_squared:
+        Current squared distances to the nearest center, or ``None`` when the
+        first center is being added.
+    assignment:
+        Current nearest-center indices, or ``None`` for the first center.
+    new_index:
+        Index the new center will occupy in the final center array.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    delta = points - np.asarray(new_center, dtype=np.float64)[None, :]
+    squared_to_new = np.einsum("ij,ij->i", delta, delta)
+    if best_squared is None or assignment is None:
+        return squared_to_new, np.full(points.shape[0], new_index, dtype=np.int64)
+    improved = squared_to_new < best_squared
+    best_squared = np.where(improved, squared_to_new, best_squared)
+    assignment = np.where(improved, new_index, assignment)
+    return best_squared, assignment
+
+
+def diameter_upper_bound(points: np.ndarray) -> float:
+    """Cheap O(nd) upper bound on the diameter of a point set.
+
+    Translates the set so an arbitrary point sits at the origin and returns
+    twice the largest norm — exactly the bounding-box step the quadtree
+    embedding of Section 2.4 of the paper uses.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    shifted = points - points[0]
+    norms = np.sqrt(np.einsum("ij,ij->i", shifted, shifted))
+    return float(2.0 * norms.max()) if norms.size else 0.0

@@ -1,0 +1,214 @@
+"""Randomly shifted quadtree embeddings (Section 2.4 of the paper).
+
+A quadtree embedding maps Euclidean points into a hierarchically separated
+tree metric.  The input is enclosed in a box of side ``2 * Delta`` that is
+shifted by a uniformly random offset; level ``i`` of the tree partitions the
+box into cells of side ``2^{-i} * 2 * Delta``, and the edge connecting a cell
+to its parent has length ``sqrt(d) * 2^{-i} * 2 * Delta``.  Lemma 2.2 states
+that tree distances dominate Euclidean distances and exceed them only by an
+``O(d log Delta)`` factor in expectation.
+
+The embedding is the workhorse of two components:
+
+* ``Fast-kmeans++`` (:mod:`repro.clustering.fast_kmeans_pp`) performs its
+  D²-style seeding and its point-to-center assignment in the tree metric,
+  which is what removes the ``O(nk)`` assignment cost.
+* The crude cost upper bound of Algorithm 2
+  (:mod:`repro.core.spread_reduction`) searches for the first tree level at
+  which the input occupies at least ``k + 1`` cells.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.geometry.grid import hash_rows
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_integer, check_points
+
+
+def compute_spread(points: np.ndarray, *, sample_size: int = 2000, seed: SeedLike = 0) -> float:
+    """Estimate the spread ``Delta`` = (max distance) / (min non-zero distance).
+
+    The exact spread needs all pairwise distances, which is quadratic in
+    ``n``; for inputs larger than ``sample_size`` the minimum non-zero
+    distance is estimated on a uniform subsample while the maximum distance
+    is replaced by the (at most 2x larger) bounding-box diameter.  The spread
+    only enters the algorithms through its logarithm, so this estimate is
+    more than accurate enough.
+    """
+    points = check_points(points)
+    n = points.shape[0]
+    if n < 2:
+        return 1.0
+    generator = as_generator(seed)
+    if n > sample_size:
+        subset = points[generator.choice(n, size=sample_size, replace=False)]
+    else:
+        subset = points
+    norms = np.einsum("ij,ij->i", subset, subset)
+    squared = norms[:, None] + norms[None, :] - 2.0 * (subset @ subset.T)
+    np.maximum(squared, 0.0, out=squared)
+    positive = squared[squared > 1e-24]
+    if positive.size == 0:
+        return 1.0
+    min_distance = math.sqrt(float(positive.min()))
+    span = points.max(axis=0) - points.min(axis=0)
+    max_distance = float(np.linalg.norm(span))
+    if max_distance <= 0:
+        return 1.0
+    return max(1.0, max_distance / min_distance)
+
+
+@dataclass
+class QuadtreeEmbedding:
+    """A fitted randomly shifted quadtree over a point set.
+
+    Parameters
+    ----------
+    max_levels:
+        Hard cap on the tree depth.  The fitted depth is
+        ``min(max_levels, ceil(log2(spread)) + 2)`` and construction stops
+        early once every occupied cell contains a single point.
+    seed:
+        Randomness for the shift.
+
+    Attributes
+    ----------
+    delta_:
+        Half side length of the enclosing box (an upper bound on the largest
+        distance from the translated origin).
+    level_cell_ids_:
+        ``level_cell_ids_[l]`` is a length-``n`` integer array giving the
+        compact identifier of the level-``l`` cell containing each point.
+    level_cells_:
+        ``level_cells_[l]`` maps each occupied level-``l`` cell identifier to
+        the indices of the points it contains.
+    """
+
+    max_levels: int = 32
+    seed: SeedLike = None
+    delta_: float = field(default=0.0, init=False)
+    shift_: Optional[np.ndarray] = field(default=None, init=False, repr=False)
+    origin_: Optional[np.ndarray] = field(default=None, init=False, repr=False)
+    dimension_: int = field(default=0, init=False)
+    n_points_: int = field(default=0, init=False)
+    level_cell_ids_: List[np.ndarray] = field(default_factory=list, init=False, repr=False)
+    level_cells_: List[Dict[int, np.ndarray]] = field(default_factory=list, init=False, repr=False)
+
+    # ------------------------------------------------------------------ fit
+    def fit(self, points: np.ndarray) -> "QuadtreeEmbedding":
+        """Build the level-wise cell decomposition for ``points``."""
+        points = check_points(points)
+        self.n_points_, self.dimension_ = points.shape
+        check_integer(self.max_levels, name="max_levels")
+        generator = as_generator(self.seed)
+
+        # Translate so an arbitrary input point is the origin, then bound the
+        # data inside a box of side 2 * delta (Section 2.4).
+        self.origin_ = points[0].copy()
+        shifted_points = points - self.origin_[None, :]
+        norms = np.sqrt(np.einsum("ij,ij->i", shifted_points, shifted_points))
+        self.delta_ = float(norms.max())
+        if self.delta_ <= 0:
+            # All points identical: a single-level tree with one cell.
+            self.delta_ = 1.0
+        shift_scalar = float(generator.uniform(0.0, self.delta_))
+        self.shift_ = np.full(self.dimension_, shift_scalar, dtype=np.float64)
+        shifted_points = shifted_points + self.shift_[None, :]
+
+        spread = compute_spread(points, seed=generator)
+        depth_cap = min(self.max_levels, max(1, int(math.ceil(math.log2(spread))) + 2))
+
+        self.level_cell_ids_ = []
+        self.level_cells_ = []
+        for level in range(depth_cap + 1):
+            side = self.cell_side(level)
+            lattice = np.floor(shifted_points / side).astype(np.int64)
+            _, inverse = np.unique(hash_rows(lattice), return_inverse=True)
+            inverse = inverse.astype(np.int64).reshape(-1)
+            self.level_cell_ids_.append(inverse)
+            self.level_cells_.append(self._group(inverse))
+            if len(self.level_cells_[-1]) >= self.n_points_:
+                # Every point isolated in its own cell: deeper levels add
+                # nothing to the tree metric.
+                break
+        return self
+
+    @staticmethod
+    def _group(cell_ids: np.ndarray) -> Dict[int, np.ndarray]:
+        """Group point indices by their compact cell identifier."""
+        order = np.argsort(cell_ids, kind="stable")
+        sorted_ids = cell_ids[order]
+        boundaries = np.flatnonzero(np.diff(sorted_ids)) + 1
+        groups: Dict[int, np.ndarray] = {}
+        for group in np.split(order, boundaries):
+            groups[int(cell_ids[group[0]])] = group
+        return groups
+
+    # ------------------------------------------------------------- geometry
+    @property
+    def depth(self) -> int:
+        """Number of levels actually built (root level included)."""
+        return len(self.level_cell_ids_)
+
+    def cell_side(self, level: int) -> float:
+        """Side length of the level-``level`` grid cells: ``2^{-level} * 2 * delta``."""
+        return (2.0 * self.delta_) * (2.0 ** (-level))
+
+    def edge_length(self, level: int) -> float:
+        """Length of the tree edge from a level-``level`` cell to its parent."""
+        return math.sqrt(self.dimension_) * self.cell_side(level)
+
+    def distance_from_shared_level(self, level: int) -> float:
+        """Tree distance between two points whose deepest common cell is at ``level``.
+
+        The path climbs from the leaves up to the shared cell and back down,
+        so the distance is twice the sum of edge lengths below ``level``.
+        When the two points share a leaf cell the tree distance is zero.
+        """
+        if level >= self.depth - 1:
+            return 0.0
+        total = 0.0
+        for below in range(level + 1, self.depth):
+            total += self.edge_length(below)
+        return 2.0 * total
+
+    def deepest_shared_level(self, first: int, second: int) -> int:
+        """Deepest level at which points ``first`` and ``second`` share a cell.
+
+        Level 0 uses cells of side ``2 * delta``; because the shift keeps all
+        points within a ``2 * delta`` window the two points may already be
+        separated at level 0, in which case ``-1`` is returned and the tree
+        distance is the full ``distance_from_shared_level(-1)``.
+        """
+        shared = -1
+        for level in range(self.depth):
+            if self.level_cell_ids_[level][first] == self.level_cell_ids_[level][second]:
+                shared = level
+            else:
+                break
+        return shared
+
+    def tree_distance(self, first: int, second: int) -> float:
+        """Distance between two input points in the embedded tree metric."""
+        if first == second:
+            return 0.0
+        return self.distance_from_shared_level(self.deepest_shared_level(first, second))
+
+    # --------------------------------------------------------------- lookup
+    def cell_of(self, point_index: int, level: int) -> int:
+        """Compact identifier of the level-``level`` cell containing a point."""
+        return int(self.level_cell_ids_[level][point_index])
+
+    def points_in_cell(self, level: int, cell_id: int) -> np.ndarray:
+        """Indices of the points contained in a given cell (empty if unused)."""
+        return self.level_cells_[level].get(cell_id, np.empty(0, dtype=np.int64))
+
+    def occupied_cells(self, level: int) -> int:
+        """Number of distinct non-empty cells at ``level``."""
+        return len(self.level_cells_[level])

@@ -1,0 +1,30 @@
+"""Streaming compression: merge-&-reduce, BICO, and StreamKM++.
+
+The paper's streaming experiments (Section 5.4, Tables 5-6, Figure 5) feed
+the data in blocks and maintain a compression whose size is independent of
+the stream length.  Three mechanisms are provided:
+
+* :class:`~repro.streaming.merge_reduce.StreamingCoresetPipeline` — the
+  merge-&-reduce framework of Bentley and Saxe [11] / Har-Peled and
+  Mazumdar [40], which turns *any* black-box sampler from
+  :mod:`repro.core` into a streaming algorithm.
+* :class:`~repro.streaming.bico.BicoCoreset` — BICO [38], a BIRCH-style
+  clustering-feature tree producing k-means coresets in a stream.
+* :class:`~repro.streaming.streamkm.StreamKMPlusPlus` — StreamKM++ [1], a
+  coreset tree driven by k-means++ style D²-sampling.
+"""
+
+from repro.streaming.bico import BicoCoreset, ClusteringFeature
+from repro.streaming.merge_reduce import MergeReduceTree, StreamingCoresetPipeline
+from repro.streaming.stream import DataStream, iterate_blocks
+from repro.streaming.streamkm import StreamKMPlusPlus
+
+__all__ = [
+    "BicoCoreset",
+    "ClusteringFeature",
+    "MergeReduceTree",
+    "StreamingCoresetPipeline",
+    "DataStream",
+    "iterate_blocks",
+    "StreamKMPlusPlus",
+]

@@ -1,0 +1,202 @@
+"""Merge-&-reduce: turning any sampler into a streaming coreset algorithm.
+
+The classical framework of Bentley and Saxe [11], first applied to
+clustering coresets by Har-Peled and Mazumdar [40], maintains at most one
+compression per level of a binary tree over the blocks seen so far:
+
+* every arriving block is compressed to ``m`` points (a *leaf* coreset);
+* whenever two compressions of the same level exist, their union (which is a
+  coreset of the union of their inputs, by the composition property) is
+  re-compressed to ``m`` points and promoted one level up;
+* at the end of the stream the surviving per-level compressions — the
+  pattern the paper's footnote 10 illustrates as ``[[1], [2], [3,4],
+  [5,6,7,8]]`` for eight blocks — are concatenated and compressed one final
+  time.
+
+Errors compound along the ``O(log b)`` levels, which is why the theory asks
+for larger samples in the stream; Section 5.4 of the paper observes that in
+practice the accelerated samplers do *at least as well* under composition,
+and the harness built on this module reproduces that comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.base import CoresetConstruction
+from repro.core.coreset import Coreset, merge_coresets
+from repro.streaming.stream import Block, DataStream
+from repro.utils.rng import SeedLike, as_generator, random_seed_from
+from repro.utils.validation import check_integer
+
+
+@dataclass
+class MergeReduceTree:
+    """Online merge-&-reduce state.
+
+    Parameters
+    ----------
+    sampler:
+        Any :class:`~repro.core.base.CoresetConstruction`; it is used both
+        for the leaf compressions and for every reduction step.
+    coreset_size:
+        Target size ``m`` of every compression held by the tree.
+    seed:
+        Randomness; every compression receives a fresh seed derived from it.
+
+    Attributes
+    ----------
+    levels:
+        ``levels[l]`` holds the at-most-one compression currently stored at
+        level ``l``.
+    reductions:
+        Number of reduce operations performed so far (diagnostics).
+    """
+
+    sampler: CoresetConstruction
+    coreset_size: int
+    seed: SeedLike = None
+    levels: Dict[int, Coreset] = field(default_factory=dict)
+    reductions: int = 0
+    blocks_seen: int = 0
+
+    def __post_init__(self) -> None:
+        self.coreset_size = check_integer(self.coreset_size, name="coreset_size")
+        self._generator = as_generator(self.seed)
+
+    # ------------------------------------------------------------------
+    def _compress(self, points: np.ndarray, weights: np.ndarray) -> Coreset:
+        """Compress a weighted point set to at most ``coreset_size`` points."""
+        m = min(self.coreset_size, points.shape[0])
+        return self.sampler.sample(
+            points, m, weights=weights, seed=random_seed_from(self._generator)
+        )
+
+    def add_block(self, points: np.ndarray, weights: Optional[np.ndarray] = None) -> None:
+        """Consume one block of the stream."""
+        if weights is None:
+            weights = np.ones(points.shape[0], dtype=np.float64)
+        self.blocks_seen += 1
+        current = self._compress(points, weights)
+        level = 0
+        # Carry-propagation: merging two level-l compressions yields a
+        # level-(l+1) compression, exactly like binary addition.
+        while level in self.levels:
+            partner = self.levels.pop(level)
+            merged = merge_coresets([partner, current])
+            current = self._compress(merged.points, merged.weights)
+            self.reductions += 1
+            level += 1
+        self.levels[level] = current
+
+    def finalize(self) -> Coreset:
+        """Concatenate the surviving per-level compressions and reduce once more."""
+        if not self.levels:
+            raise ValueError("no blocks were added to the merge-&-reduce tree")
+        survivors = [self.levels[level] for level in sorted(self.levels)]
+        if len(survivors) == 1:
+            combined = survivors[0]
+        else:
+            combined = merge_coresets(survivors)
+        if combined.size > self.coreset_size:
+            final = self._compress(combined.points, combined.weights)
+            self.reductions += 1
+        else:
+            final = combined
+        final.method = f"merge_reduce[{self.sampler.name}]"
+        return final
+
+
+@dataclass
+class StreamingCoresetPipeline:
+    """End-to-end streaming compression with a black-box sampler.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.core import UniformSampling
+    >>> from repro.streaming import DataStream, StreamingCoresetPipeline
+    >>> data = np.random.default_rng(0).normal(size=(1000, 5))
+    >>> stream = DataStream(points=data, block_size=100)
+    >>> pipeline = StreamingCoresetPipeline(sampler=UniformSampling(seed=0), coreset_size=50)
+    >>> coreset = pipeline.run(stream)
+    >>> coreset.size <= 50
+    True
+    """
+
+    sampler: CoresetConstruction
+    coreset_size: int
+    seed: SeedLike = None
+
+    def run(self, stream: Iterable[Block]) -> Coreset:
+        """Process every block of ``stream`` and return the final compression."""
+        tree = MergeReduceTree(
+            sampler=self.sampler, coreset_size=self.coreset_size, seed=self.seed
+        )
+        for points, weights in stream:
+            tree.add_block(points, weights)
+        return tree.finalize()
+
+    def run_with_statistics(self, stream: Iterable[Block]) -> Tuple[Coreset, Dict[str, float]]:
+        """Run and also report tree statistics (blocks, reductions, total weight)."""
+        tree = MergeReduceTree(
+            sampler=self.sampler, coreset_size=self.coreset_size, seed=self.seed
+        )
+        for points, weights in stream:
+            tree.add_block(points, weights)
+        coreset = tree.finalize()
+        statistics = {
+            "blocks": float(tree.blocks_seen),
+            "reductions": float(tree.reductions),
+            "coreset_size": float(coreset.size),
+            "total_weight": coreset.total_weight,
+        }
+        return coreset, statistics
+
+
+def stream_dataset(
+    points: np.ndarray,
+    sampler: CoresetConstruction,
+    coreset_size: int,
+    *,
+    n_blocks: int = 16,
+    weights: Optional[np.ndarray] = None,
+    seed: SeedLike = None,
+) -> Coreset:
+    """Convenience wrapper: stream an in-memory dataset through merge-&-reduce.
+
+    This is the exact setup of the paper's streaming experiments (Table 5 /
+    Figure 5): the dataset is split into ``n_blocks`` blocks and compressed
+    with the given sampler under composition.
+    """
+    stream = DataStream.with_block_count(points, n_blocks, weights=weights)
+    pipeline = StreamingCoresetPipeline(sampler=sampler, coreset_size=coreset_size, seed=seed)
+    return pipeline.run(stream)
+
+
+def level_pattern(n_blocks: int) -> List[List[int]]:
+    """The block-grouping pattern held by the tree after ``n_blocks`` blocks.
+
+    :class:`MergeReduceTree` behaves like a binary counter, so after
+    ``n_blocks`` blocks it holds one surviving compression per set bit of
+    ``n_blocks``: for seven blocks the groups cover ``[[7], [5, 6],
+    [1, 2, 3, 4]]`` (most recent first), which is the same "one coreset per
+    level" invariant the paper's footnote 10 illustrates.  Exposed for the
+    unit tests that pin down the tree's shape.
+    """
+    n_blocks = check_integer(n_blocks, name="n_blocks")
+    groups: List[List[int]] = []
+    position = n_blocks
+    remaining = n_blocks
+    bit = 0
+    while remaining > 0:
+        size = 1 << bit
+        if remaining & size:
+            groups.append(list(range(position - size + 1, position + 1)))
+            position -= size
+            remaining -= size
+        bit += 1
+    return groups

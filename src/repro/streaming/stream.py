@@ -1,0 +1,129 @@
+"""A minimal data-stream abstraction.
+
+The streaming experiments of the paper partition the input into ``b`` blocks
+and present them one at a time (Section 5.4).  :class:`DataStream` models
+exactly that: an iterator over ``(points, weights)`` blocks that never
+requires the consumer to hold the full dataset, which is what the
+merge-&-reduce pipeline, BICO, and StreamKM++ consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_integer, check_points, check_weights
+
+
+Block = Tuple[np.ndarray, np.ndarray]
+
+
+def iterate_blocks(
+    points: np.ndarray,
+    block_size: int,
+    *,
+    weights: Optional[np.ndarray] = None,
+    shuffle: bool = False,
+    seed: SeedLike = None,
+) -> Iterator[Block]:
+    """Yield ``(points, weights)`` blocks of at most ``block_size`` rows.
+
+    Parameters
+    ----------
+    points:
+        The full dataset of shape ``(n, d)``.
+    block_size:
+        Maximum number of rows per block.
+    weights:
+        Optional per-point weights carried along with each block.
+    shuffle:
+        Randomly permute the rows before splitting — used to check that the
+        streaming results do not depend on a favourable arrival order.
+    seed:
+        Randomness for the shuffle.
+    """
+    points = check_points(points)
+    n = points.shape[0]
+    block_size = check_integer(block_size, name="block_size")
+    weights = check_weights(weights, n)
+    order = np.arange(n)
+    if shuffle:
+        order = as_generator(seed).permutation(n)
+    for start in range(0, n, block_size):
+        index = order[start : start + block_size]
+        yield points[index], weights[index]
+
+
+@dataclass
+class DataStream:
+    """A replayable stream over an in-memory dataset.
+
+    This is the simulation vehicle for the paper's streaming experiments:
+    the underlying array stands in for data arriving from disk or the
+    network, and consumers only ever see one block at a time.
+
+    Attributes
+    ----------
+    points:
+        Backing array of shape ``(n, d)``.
+    block_size:
+        Rows per block.
+    weights:
+        Optional per-point weights.
+    shuffle / seed:
+        Whether (and how) to permute the arrival order on every replay.
+    """
+
+    points: np.ndarray
+    block_size: int
+    weights: Optional[np.ndarray] = None
+    shuffle: bool = False
+    seed: SeedLike = None
+
+    def __post_init__(self) -> None:
+        self.points = check_points(self.points)
+        self.weights = check_weights(self.weights, self.points.shape[0])
+        self.block_size = check_integer(self.block_size, name="block_size")
+
+    def __iter__(self) -> Iterator[Block]:
+        return iterate_blocks(
+            self.points,
+            self.block_size,
+            weights=self.weights,
+            shuffle=self.shuffle,
+            seed=self.seed,
+        )
+
+    @property
+    def n_points(self) -> int:
+        """Total number of points in the stream."""
+        return int(self.points.shape[0])
+
+    @property
+    def n_blocks(self) -> int:
+        """Number of blocks the stream will emit."""
+        return int(np.ceil(self.n_points / self.block_size))
+
+    @property
+    def dimension(self) -> int:
+        """Dimensionality of the streamed points."""
+        return int(self.points.shape[1])
+
+    @classmethod
+    def with_block_count(
+        cls,
+        points: np.ndarray,
+        n_blocks: int,
+        *,
+        weights: Optional[np.ndarray] = None,
+        shuffle: bool = False,
+        seed: SeedLike = None,
+    ) -> "DataStream":
+        """Build a stream that splits ``points`` into exactly ``n_blocks`` blocks."""
+        points = check_points(points)
+        n_blocks = check_integer(n_blocks, name="n_blocks")
+        block_size = max(1, int(np.ceil(points.shape[0] / n_blocks)))
+        return cls(points=points, block_size=block_size, weights=weights, shuffle=shuffle, seed=seed)

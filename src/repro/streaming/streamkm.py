@@ -1,0 +1,141 @@
+"""StreamKM++: k-means++-driven coreset trees for the streaming k-means task.
+
+StreamKM++ [1] maintains a merge-&-reduce bucket structure whose *reduce*
+step is a "coreset tree": representatives are selected by D²-sampling
+(k-means++ style) and every input point donates its weight to its nearest
+representative.  The resulting compression is a quantisation of the input —
+good for seeding Lloyd's algorithm, but (as the paper's Table 9 shows) not a
+strong coreset at the sample sizes sensitivity sampling needs, because the
+construction's theoretical coreset size is logarithmic in ``n`` and
+exponential in ``d``.
+
+The implementation exposes both interfaces used in the paper's experiments:
+
+* the static :class:`~repro.core.base.CoresetConstruction` interface (build
+  one coreset of the full dataset), and
+* the streaming interface (``insert_block`` / ``to_coreset``), which runs
+  the same reduction inside a merge-&-reduce tree.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.clustering.kmeans_pp import kmeans_plus_plus
+from repro.core.base import CoresetConstruction
+from repro.core.coreset import Coreset
+from repro.geometry.distances import squared_point_to_set_distances
+from repro.utils.rng import SeedLike, as_generator, random_seed_from
+from repro.utils.validation import check_integer, check_points, check_weights
+
+
+class StreamKMPlusPlus(CoresetConstruction):
+    """StreamKM++ coreset-tree reduction.
+
+    Parameters
+    ----------
+    coreset_size:
+        Number of representatives kept by every reduction.
+    z:
+        Cost exponent; StreamKM++ targets k-means, so 2 is the paper's (and
+        the default) choice.
+    seed:
+        Default randomness source.
+    """
+
+    name = "streamkm++"
+
+    def __init__(self, coreset_size: int, *, z: int = 2, seed: SeedLike = None) -> None:
+        super().__init__(z=z, seed=seed)
+        self.coreset_size = check_integer(coreset_size, name="coreset_size")
+        self._buckets: list[Coreset] = []
+        self._generator = as_generator(seed)
+
+    # -------------------------------------------------------------- reduce
+    def _coreset_tree_reduce(
+        self,
+        points: np.ndarray,
+        weights: np.ndarray,
+        m: int,
+        seed: SeedLike,
+    ) -> Coreset:
+        """One coreset-tree reduction: D²-sample ``m`` representatives, re-weight.
+
+        Every input point is assigned to its nearest representative and the
+        representative's weight is the total weight assigned to it, so the
+        compression preserves the input's total weight exactly.
+        """
+        generator = as_generator(seed)
+        m = min(m, points.shape[0])
+        seeding = kmeans_plus_plus(points, m, weights=weights, z=self.z, seed=generator)
+        representatives = seeding.centers
+        _, assignment = squared_point_to_set_distances(points, representatives)
+        representative_weights = np.bincount(
+            assignment, weights=weights, minlength=representatives.shape[0]
+        )
+        occupied = representative_weights > 0
+        return Coreset(
+            points=representatives[occupied],
+            weights=representative_weights[occupied],
+            indices=None,
+            method=self.name,
+        )
+
+    # --------------------------------------------- CoresetConstruction API
+    def _sample(
+        self,
+        points: np.ndarray,
+        weights: np.ndarray,
+        m: int,
+        seed: SeedLike,
+    ) -> Coreset:
+        return self._coreset_tree_reduce(points, weights, m, seed)
+
+    # ----------------------------------------------------------- streaming
+    def insert_block(self, points: np.ndarray, weights: Optional[np.ndarray] = None) -> None:
+        """Absorb one block of the stream into the bucket structure."""
+        points = check_points(points)
+        weights = check_weights(weights, points.shape[0])
+        current = self._coreset_tree_reduce(
+            points, weights, self.coreset_size, random_seed_from(self._generator)
+        )
+        self._buckets.append(current)
+        # Merge buckets pairwise whenever two of comparable size exist, which
+        # keeps at most O(log(blocks)) buckets alive.
+        while len(self._buckets) >= 2 and self._buckets[-1].size >= self._buckets[-2].size:
+            right = self._buckets.pop()
+            left = self._buckets.pop()
+            merged_points = np.concatenate([left.points, right.points], axis=0)
+            merged_weights = np.concatenate([left.weights, right.weights], axis=0)
+            self._buckets.append(
+                self._coreset_tree_reduce(
+                    merged_points,
+                    merged_weights,
+                    self.coreset_size,
+                    random_seed_from(self._generator),
+                )
+            )
+
+    def to_coreset(self) -> Coreset:
+        """Collapse the surviving buckets into the final compression."""
+        if not self._buckets:
+            raise ValueError("no points have been inserted")
+        if len(self._buckets) == 1:
+            final = self._buckets[0]
+        else:
+            merged_points = np.concatenate([bucket.points for bucket in self._buckets], axis=0)
+            merged_weights = np.concatenate([bucket.weights for bucket in self._buckets], axis=0)
+            final = self._coreset_tree_reduce(
+                merged_points,
+                merged_weights,
+                self.coreset_size,
+                random_seed_from(self._generator),
+            )
+        final.method = self.name
+        return final
+
+    def reset(self) -> None:
+        """Forget all absorbed blocks."""
+        self._buckets = []

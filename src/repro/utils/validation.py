@@ -1,0 +1,127 @@
+"""Argument-validation helpers shared by the public API.
+
+Keeping validation in one place gives users consistent, actionable error
+messages (the guide's "explicit is better than implicit") and keeps the
+algorithm implementations free of defensive boilerplate.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def check_array(
+    data: np.ndarray,
+    *,
+    name: str = "data",
+    ndim: int = 2,
+    allow_empty: bool = False,
+    dtype: type = np.float64,
+) -> np.ndarray:
+    """Validate and coerce an input array.
+
+    Parameters
+    ----------
+    data:
+        Anything convertible to a numpy array.
+    name:
+        Name used in error messages.
+    ndim:
+        Required number of dimensions (2 for point sets, 1 for weights).
+    allow_empty:
+        If ``False`` (default) an array with zero rows raises ``ValueError``.
+    dtype:
+        Target dtype; the array is converted if necessary.
+
+    Returns
+    -------
+    numpy.ndarray
+        A contiguous array of the requested dtype and dimensionality.
+    """
+    array = np.asarray(data, dtype=dtype)
+    if array.ndim != ndim:
+        raise ValueError(f"{name} must be {ndim}-dimensional, got shape {array.shape}")
+    if not allow_empty and array.shape[0] == 0:
+        raise ValueError(f"{name} must contain at least one element")
+    if not np.all(np.isfinite(array)):
+        raise ValueError(f"{name} contains NaN or infinite values")
+    return np.ascontiguousarray(array)
+
+
+def check_points(points: np.ndarray, *, name: str = "points") -> np.ndarray:
+    """Validate a point set of shape ``(n, d)``."""
+    return check_array(points, name=name, ndim=2)
+
+
+def check_weights(
+    weights: Optional[np.ndarray],
+    n: int,
+    *,
+    name: str = "weights",
+) -> np.ndarray:
+    """Validate per-point weights or materialise the unit-weight default.
+
+    Parameters
+    ----------
+    weights:
+        ``None`` (meaning every point has weight one) or an array of length
+        ``n`` with non-negative finite entries.
+    n:
+        Expected number of weights.
+    name:
+        Name used in error messages.
+    """
+    if weights is None:
+        return np.ones(n, dtype=np.float64)
+    array = np.asarray(weights, dtype=np.float64)
+    if array.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional, got shape {array.shape}")
+    if array.shape[0] != n:
+        raise ValueError(f"{name} must have length {n}, got {array.shape[0]}")
+    if not np.all(np.isfinite(array)):
+        raise ValueError(f"{name} contains NaN or infinite values")
+    if np.any(array < 0):
+        raise ValueError(f"{name} must be non-negative")
+    return array
+
+
+def check_integer(value: int, *, name: str, minimum: int = 1) -> int:
+    """Validate an integer parameter such as ``k`` or a sample size."""
+    if not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    if value < minimum:
+        raise ValueError(f"{name} must be at least {minimum}, got {value}")
+    return int(value)
+
+
+def check_positive(value: float, *, name: str) -> float:
+    """Validate a strictly positive real parameter such as ``epsilon``."""
+    value = float(value)
+    if not np.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be a positive finite number, got {value}")
+    return value
+
+
+def check_probability(value: float, *, name: str) -> float:
+    """Validate a parameter that must lie in the closed interval [0, 1]."""
+    value = float(value)
+    if not np.isfinite(value) or value < 0 or value > 1:
+        raise ValueError(f"{name} must lie in [0, 1], got {value}")
+    return value
+
+
+def check_power(z: int, *, name: str = "z") -> int:
+    """Validate the cost exponent: 1 for k-median, 2 for k-means."""
+    if z not in (1, 2):
+        raise ValueError(f"{name} must be 1 (k-median) or 2 (k-means), got {z}")
+    return int(z)
+
+
+def check_sample_size(m: int, n: int, *, name: str = "m") -> int:
+    """Validate a requested sample size against the population size."""
+    m = check_integer(m, name=name, minimum=1)
+    if m > n:
+        raise ValueError(f"{name}={m} exceeds the number of available points n={n}")
+    return m

@@ -1,0 +1,105 @@
+"""Weighted-statistics primitives.
+
+Coresets are weighted point sets, so nearly every downstream computation
+(costs, means, medians, quantiles) must respect per-point weights.  These
+helpers are the single implementation used by the clustering solvers, the
+coreset constructions, and the evaluation metrics.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.validation import check_weights
+
+
+def normalize_weights(weights: np.ndarray) -> np.ndarray:
+    """Scale non-negative weights so they sum to one.
+
+    Raises
+    ------
+    ValueError
+        If the weights sum to zero (an empty probability distribution).
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    total = weights.sum()
+    if total <= 0:
+        raise ValueError("weights must have a positive sum to be normalised")
+    return weights / total
+
+
+def weighted_mean(points: np.ndarray, weights: Optional[np.ndarray] = None) -> np.ndarray:
+    """Weighted mean (the optimal 1-means centre) of a point set.
+
+    Parameters
+    ----------
+    points:
+        Array of shape ``(n, d)``.
+    weights:
+        Optional non-negative weights of length ``n``; defaults to ones.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    weights = check_weights(weights, points.shape[0])
+    total = weights.sum()
+    if total <= 0:
+        # Degenerate cluster: fall back to the unweighted mean so callers do
+        # not have to special-case empty probability mass.
+        return points.mean(axis=0)
+    return (weights[:, None] * points).sum(axis=0) / total
+
+
+def weighted_variance(points: np.ndarray, weights: Optional[np.ndarray] = None) -> float:
+    """Total weighted squared deviation from the weighted mean.
+
+    This equals the optimal (weighted) 1-means cost of ``points``.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    weights = check_weights(weights, points.shape[0])
+    centre = weighted_mean(points, weights)
+    deviations = points - centre
+    return float(np.sum(weights * np.einsum("ij,ij->i", deviations, deviations)))
+
+
+def weighted_quantile(
+    values: np.ndarray,
+    quantile: float,
+    weights: Optional[np.ndarray] = None,
+) -> float:
+    """Weighted quantile of a one-dimensional sample.
+
+    Uses the standard "inverse of the weighted empirical CDF" definition,
+    which reduces to ``numpy.quantile(..., method='inverted_cdf')`` for unit
+    weights.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 1:
+        raise ValueError(f"values must be one-dimensional, got shape {values.shape}")
+    if not 0.0 <= quantile <= 1.0:
+        raise ValueError(f"quantile must lie in [0, 1], got {quantile}")
+    weights = check_weights(weights, values.shape[0])
+    order = np.argsort(values)
+    sorted_values = values[order]
+    cumulative = np.cumsum(weights[order])
+    total = cumulative[-1]
+    if total <= 0:
+        raise ValueError("weights must have a positive sum")
+    threshold = quantile * total
+    index = int(np.searchsorted(cumulative, threshold, side="left"))
+    index = min(index, len(sorted_values) - 1)
+    return float(sorted_values[index])
+
+
+def effective_sample_size(weights: np.ndarray) -> float:
+    """Kish effective sample size ``(sum w)^2 / sum w^2`` of a weight vector.
+
+    A diagnostic used in the evaluation module: heavily skewed coreset
+    weights reduce the effective number of independent samples and therefore
+    increase estimator variance.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    denominator = np.sum(weights**2)
+    if denominator <= 0:
+        return 0.0
+    return float(np.sum(weights) ** 2 / denominator)

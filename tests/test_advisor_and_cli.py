@@ -1,0 +1,114 @@
+"""Unit tests for the sampler advisor (Section 5.5) and the command-line interface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data.synthetic import c_outlier_dataset, gaussian_mixture
+from repro.evaluation.advisor import diagnose_dataset, recommend_sampler
+
+
+class TestDiagnoseDataset:
+    def test_balanced_data_low_imbalance(self, blobs):
+        diagnosis = diagnose_dataset(blobs, 6, seed=0)
+        assert diagnosis.cluster_imbalance < 10.0
+        assert 0.0 <= diagnosis.top_cost_share <= 1.0
+        assert diagnosis.sample_size == blobs.shape[0]
+
+    def test_outlier_data_flagged_by_tiny_cluster(self, outlier_data):
+        # The probe solution places a center on the outlier cluster (its D²
+        # mass is enormous), so the danger shows up as a vanishingly small
+        # cluster rather than as residual cost share.
+        diagnosis = diagnose_dataset(outlier_data, 4, seed=0)
+        assert diagnosis.smallest_cluster_fraction < 0.05
+        assert diagnosis.cluster_imbalance > 10.0
+
+    def test_probe_subsample_for_large_inputs(self):
+        data = gaussian_mixture(n=5000, d=5, n_clusters=5, seed=0).points
+        diagnosis = diagnose_dataset(data, 5, probe_size=1000, seed=0)
+        assert diagnosis.sample_size == 1000
+
+    def test_imbalanced_mixture_detected(self, imbalanced_blobs):
+        diagnosis = diagnose_dataset(imbalanced_blobs, 6, seed=0)
+        assert diagnosis.cluster_imbalance > diagnose_dataset(
+            gaussian_mixture(n=1500, d=8, n_clusters=6, gamma=0.0, seed=1).points, 6, seed=0
+        ).cluster_imbalance * 0.5
+
+
+class TestRecommendSampler:
+    def test_balanced_data_allows_cheap_sampling(self):
+        data = gaussian_mixture(n=4000, d=8, n_clusters=5, gamma=0.0, seed=0).points
+        assert recommend_sampler(data, 5, seed=0) in ("uniform", "lightweight")
+
+    def test_outlier_data_requires_fast_coreset(self):
+        data = c_outlier_dataset(n=4000, d=8, n_outliers=4, seed=0).points
+        assert recommend_sampler(data, 5, seed=0) == "fast_coreset"
+
+    def test_tiny_cluster_relative_to_budget_requires_fast_coreset(self):
+        # A cluster holding 0.05% of the points with a small coreset budget.
+        data = np.concatenate(
+            [np.random.default_rng(0).normal(size=(9995, 4)), 500.0 + np.zeros((5, 4))]
+        )
+        assert recommend_sampler(data, 4, coreset_size=100, seed=0) == "fast_coreset"
+
+    def test_recommendation_is_deterministic_given_seed(self, blobs):
+        assert recommend_sampler(blobs, 6, seed=3) == recommend_sampler(blobs, 6, seed=3)
+
+
+class TestCli:
+    @pytest.fixture
+    def data_file(self, tmp_path, blobs):
+        path = tmp_path / "data.npy"
+        np.save(path, blobs)
+        return str(path)
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_compress_creates_archive(self, data_file, tmp_path, capsys):
+        output = str(tmp_path / "coreset.npz")
+        code = main(["compress", data_file, "--k", "6", "--m", "120", "--output", output, "--seed", "1"])
+        assert code == 0
+        archive = np.load(output)
+        assert archive["points"].shape[0] == 120
+        assert archive["weights"].shape == (120,)
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["coreset_points"] == 120
+
+    def test_compress_all_methods(self, data_file, tmp_path):
+        for method in ("uniform", "lightweight", "welterweight", "sensitivity", "fast_coreset"):
+            output = str(tmp_path / f"{method}.npz")
+            code = main(
+                ["compress", data_file, "--k", "5", "--m", "80", "--method", method, "--output", output]
+            )
+            assert code == 0
+
+    def test_evaluate_good_coreset_exits_zero(self, data_file, tmp_path, capsys):
+        output = str(tmp_path / "coreset.npz")
+        main(["compress", data_file, "--k", "6", "--m", "200", "--output", output])
+        capsys.readouterr()
+        code = main(["evaluate", data_file, output, "--k", "6"])
+        report = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert report["distortion"] < 5.0
+
+    def test_recommend_outputs_json(self, data_file, capsys):
+        code = main(["recommend", data_file, "--k", "6"])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["recommendation"] in ("uniform", "lightweight", "fast_coreset")
+
+    def test_csv_input_supported(self, tmp_path, blobs, capsys):
+        path = tmp_path / "data.csv"
+        np.savetxt(path, blobs[:200], delimiter=",")
+        output = str(tmp_path / "coreset.npz")
+        code = main(["compress", str(path), "--k", "4", "--m", "50", "--output", output])
+        assert code == 0
+
+    def test_kmedian_flag(self, data_file, tmp_path):
+        output = str(tmp_path / "coreset.npz")
+        code = main(["compress", data_file, "--k", "5", "--m", "80", "--z", "1", "--output", output])
+        assert code == 0

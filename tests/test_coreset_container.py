@@ -1,0 +1,105 @@
+"""Unit tests for repro.core.coreset (the Coreset container and composition)."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.cost import clustering_cost
+from repro.core.coreset import Coreset, merge_coresets, trivial_coreset
+
+
+class TestCoresetBasics:
+    def test_size_dimension_and_len(self):
+        coreset = Coreset(points=np.zeros((5, 3)), weights=np.ones(5))
+        assert coreset.size == 5
+        assert coreset.dimension == 3
+        assert len(coreset) == 5
+
+    def test_total_weight(self):
+        coreset = Coreset(points=np.zeros((4, 2)), weights=np.array([1.0, 2.0, 3.0, 4.0]))
+        assert coreset.total_weight == pytest.approx(10.0)
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            Coreset(points=np.zeros((2, 2)), weights=np.array([1.0, -1.0]))
+
+    def test_mismatched_weights_rejected(self):
+        with pytest.raises(ValueError):
+            Coreset(points=np.zeros((3, 2)), weights=np.ones(2))
+
+    def test_mismatched_indices_rejected(self):
+        with pytest.raises(ValueError):
+            Coreset(points=np.zeros((3, 2)), weights=np.ones(3), indices=np.arange(2))
+
+    def test_cost_matches_weighted_clustering_cost(self, rng):
+        points = rng.normal(size=(30, 4))
+        weights = rng.uniform(0.5, 2.0, size=30)
+        coreset = Coreset(points=points, weights=weights)
+        centers = rng.normal(size=(3, 4))
+        assert coreset.cost(centers) == pytest.approx(
+            clustering_cost(points, centers, weights=weights)
+        )
+
+    def test_subset(self, rng):
+        coreset = Coreset(points=rng.normal(size=(10, 2)), weights=np.arange(1.0, 11.0), indices=np.arange(10))
+        subset = coreset.subset(np.array([0, 2, 4]))
+        assert subset.size == 3
+        np.testing.assert_allclose(subset.weights, [1.0, 3.0, 5.0])
+        np.testing.assert_array_equal(subset.indices, [0, 2, 4])
+
+    def test_with_metadata_does_not_mutate(self):
+        coreset = Coreset(points=np.zeros((2, 2)), weights=np.ones(2), metadata={"a": 1.0})
+        updated = coreset.with_metadata(b=2.0)
+        assert "b" not in coreset.metadata
+        assert updated.metadata == {"a": 1.0, "b": 2.0}
+
+
+class TestMergeCoresets:
+    def test_concatenates_points_and_weights(self, rng):
+        first = Coreset(points=rng.normal(size=(4, 3)), weights=np.ones(4), method="uniform")
+        second = Coreset(points=rng.normal(size=(6, 3)), weights=2 * np.ones(6), method="sensitivity")
+        merged = merge_coresets([first, second])
+        assert merged.size == 10
+        assert merged.total_weight == pytest.approx(4 + 12)
+        assert "uniform" in merged.method and "sensitivity" in merged.method
+
+    def test_composition_preserves_cost_estimates(self, rng):
+        # cost estimate of the union equals the sum of the parts' estimates.
+        points_a = rng.normal(size=(20, 3))
+        points_b = rng.normal(size=(30, 3)) + 5
+        coreset_a = trivial_coreset(points_a)
+        coreset_b = trivial_coreset(points_b)
+        merged = merge_coresets([coreset_a, coreset_b])
+        centers = rng.normal(size=(4, 3))
+        assert merged.cost(centers) == pytest.approx(
+            coreset_a.cost(centers) + coreset_b.cost(centers)
+        )
+
+    def test_empty_list_raises(self):
+        with pytest.raises(ValueError):
+            merge_coresets([])
+
+    def test_dimension_mismatch_raises(self):
+        a = Coreset(points=np.zeros((2, 2)), weights=np.ones(2))
+        b = Coreset(points=np.zeros((2, 3)), weights=np.ones(2))
+        with pytest.raises(ValueError):
+            merge_coresets([a, b])
+
+    def test_explicit_method_name(self):
+        a = Coreset(points=np.zeros((2, 2)), weights=np.ones(2))
+        merged = merge_coresets([a, a], method="custom")
+        assert merged.method == "custom"
+
+
+class TestTrivialCoreset:
+    def test_is_exact(self, rng):
+        points = rng.normal(size=(25, 3))
+        coreset = trivial_coreset(points)
+        centers = rng.normal(size=(2, 3))
+        assert coreset.cost(centers) == pytest.approx(clustering_cost(points, centers))
+        assert coreset.total_weight == pytest.approx(25.0)
+
+    def test_respects_input_weights(self, rng):
+        points = rng.normal(size=(10, 2))
+        weights = rng.uniform(1, 3, size=10)
+        coreset = trivial_coreset(points, weights)
+        assert coreset.total_weight == pytest.approx(weights.sum())

@@ -1,0 +1,179 @@
+"""Unit tests for repro.data (synthetic generators, realistic stand-ins, registry)."""
+
+import numpy as np
+import pytest
+
+from repro.config import ExperimentScale
+from repro.data import (
+    benchmark_dataset,
+    c_outlier_dataset,
+    gaussian_mixture,
+    geometric_dataset,
+    high_spread_dataset,
+    list_datasets,
+    load_dataset,
+    star_like,
+    taxi_like,
+)
+from repro.data.realistic import REAL_DATASET_SHAPES, adult_like, census_like, covtype_like, mnist_like, song_like
+from repro.data.synthetic import add_uniform_jitter
+from repro.geometry.quadtree import compute_spread
+
+
+class TestJitter:
+    def test_makes_points_unique(self):
+        points = np.zeros((500, 5))
+        jittered = add_uniform_jitter(points, seed=0)
+        assert np.unique(jittered, axis=0).shape[0] == 500
+
+    def test_amplitude_bounded(self):
+        points = np.zeros((100, 3))
+        jittered = add_uniform_jitter(points, amplitude=0.01, seed=0)
+        assert (jittered >= 0).all() and (jittered <= 0.01).all()
+
+
+class TestCOutlier:
+    def test_shape_and_labels(self):
+        dataset = c_outlier_dataset(n=1000, d=5, n_outliers=10, seed=0)
+        assert dataset.points.shape == (1000, 5)
+        assert (dataset.labels == 1).sum() == 10
+
+    def test_outliers_are_far(self):
+        dataset = c_outlier_dataset(n=500, d=4, n_outliers=5, outlier_distance=777.0, seed=0)
+        outliers = dataset.points[dataset.labels == 1]
+        inliers = dataset.points[dataset.labels == 0]
+        assert outliers[:, 0].min() > 700
+        assert np.abs(inliers[:, 0]).max() < 1
+
+    def test_too_many_outliers_rejected(self):
+        with pytest.raises(ValueError):
+            c_outlier_dataset(n=10, n_outliers=10)
+
+
+class TestGeometric:
+    def test_shape(self):
+        dataset = geometric_dataset(n=2000, d=15, k=10, seed=0)
+        assert dataset.points.shape == (2000, 15)
+
+    def test_masses_decay_geometrically(self):
+        dataset = geometric_dataset(n=5000, d=20, k=10, c=50, ratio=2.0, seed=0)
+        sizes = np.bincount(dataset.labels)
+        # Each subsequent vertex has (roughly) half the previous mass, except
+        # the first which absorbs the remainder.
+        assert sizes[1] >= sizes[2] >= sizes[3]
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            geometric_dataset(n=100, d=5, ratio=1.0)
+
+
+class TestGaussianMixture:
+    def test_shape_and_cluster_count(self):
+        dataset = gaussian_mixture(n=3000, d=10, n_clusters=12, seed=0)
+        assert dataset.points.shape == (3000, 10)
+        assert np.unique(dataset.labels).shape[0] == 12
+        assert dataset.labels.shape == (3000,)
+
+    def test_gamma_zero_gives_balanced_clusters(self):
+        dataset = gaussian_mixture(n=4000, d=5, n_clusters=8, gamma=0.0, seed=0)
+        sizes = np.bincount(dataset.labels)
+        assert sizes.max() / sizes.min() < 1.3
+
+    def test_large_gamma_gives_imbalanced_clusters(self):
+        dataset = gaussian_mixture(n=4000, d=5, n_clusters=8, gamma=4.0, seed=0)
+        sizes = np.bincount(dataset.labels)
+        assert sizes.max() / sizes.min() > 3.0
+
+    def test_sizes_sum_to_n(self):
+        dataset = gaussian_mixture(n=1234, d=4, n_clusters=7, gamma=2.0, seed=1)
+        assert dataset.points.shape[0] == 1234
+
+
+class TestBenchmark:
+    def test_size_close_to_n(self):
+        dataset = benchmark_dataset(k=20, d=10, n=3000, seed=0)
+        assert 2500 <= dataset.n <= 3100
+
+    def test_structure_parameters_recorded(self):
+        dataset = benchmark_dataset(k=20, d=10, n=1000, seed=0)
+        parameters = dataset.parameters
+        assert parameters["k1"] + parameters["k2"] + parameters["k3"] >= 3
+
+    def test_points_unique(self):
+        dataset = benchmark_dataset(k=10, d=8, n=500, seed=0)
+        assert np.unique(dataset.points, axis=0).shape[0] == dataset.n
+
+
+class TestHighSpread:
+    def test_spread_grows_with_r(self):
+        small = high_spread_dataset(n=3000, r=10, seed=0)
+        large = high_spread_dataset(n=3000, r=30, seed=0)
+        assert compute_spread(large.points, seed=0) > compute_spread(small.points, seed=0)
+
+    def test_two_dimensional(self):
+        assert high_spread_dataset(n=1000, r=10, seed=0).d == 2
+
+
+class TestRealisticStandIns:
+    def test_shapes_match_documented_dimensions(self):
+        fraction = 0.01
+        for name, builder in (
+            ("adult", adult_like),
+            ("star", star_like),
+            ("song", song_like),
+            ("covtype", covtype_like),
+            ("taxi", taxi_like),
+            ("census", census_like),
+        ):
+            dataset = builder(fraction, seed=0)
+            assert dataset.d == REAL_DATASET_SHAPES[name][1], name
+            assert dataset.n >= 2000
+
+    def test_mnist_dimension(self):
+        assert mnist_like(0.05, seed=0).d == 784
+
+    def test_star_has_tiny_bright_cluster(self):
+        dataset = star_like(0.05, seed=0)
+        bright = (dataset.points > 200).all(axis=1).mean()
+        assert 0.0 < bright < 0.02
+
+    def test_taxi_has_remote_clusters(self):
+        dataset = taxi_like(0.02, seed=0)
+        distances = np.linalg.norm(dataset.points, axis=1)
+        assert (distances > 10).any()
+        assert (distances < 1).mean() > 0.9
+
+    def test_fraction_scales_size(self):
+        small = adult_like(0.05, seed=0)
+        large = adult_like(0.10, seed=0)
+        assert large.n > small.n
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            adult_like(0.0)
+
+
+class TestRegistry:
+    def test_all_names_buildable(self, tiny_scale):
+        for name in list_datasets():
+            dataset = load_dataset(name, scale=tiny_scale, seed=0)
+            assert dataset.n > 0
+            assert dataset.d > 0
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            load_dataset("not-a-dataset")
+
+    def test_overrides_forwarded(self, tiny_scale):
+        dataset = load_dataset("gaussian", scale=tiny_scale, seed=0, gamma=3.0)
+        assert dataset.parameters["gamma"] == 3.0
+
+    def test_scale_controls_synthetic_size(self):
+        small = load_dataset("gaussian", scale=ExperimentScale(synthetic_n=1000, synthetic_d=5), seed=0)
+        large = load_dataset("gaussian", scale=ExperimentScale(synthetic_n=2000, synthetic_d=5), seed=0)
+        assert large.n == 2 * small.n
+
+    def test_list_datasets_filters(self):
+        synthetic_only = list_datasets(include_realistic=False)
+        assert "adult" not in synthetic_only
+        assert "gaussian" in synthetic_only

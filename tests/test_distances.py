@@ -1,0 +1,93 @@
+"""Unit tests for repro.geometry.distances."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.distances import (
+    diameter_upper_bound,
+    pairwise_distances,
+    point_to_set_distances,
+    squared_point_to_set_distances,
+    update_nearest_with_new_center,
+)
+
+
+class TestPairwiseDistances:
+    def test_matches_bruteforce(self, rng):
+        a = rng.normal(size=(20, 5))
+        b = rng.normal(size=(15, 5))
+        expected = np.linalg.norm(a[:, None, :] - b[None, :, :], axis=2)
+        np.testing.assert_allclose(pairwise_distances(a, b), expected, atol=1e-8)
+
+    def test_self_distances_are_zero_on_diagonal(self, rng):
+        a = rng.normal(size=(10, 3))
+        distances = pairwise_distances(a, a)
+        np.testing.assert_allclose(np.diag(distances), 0.0, atol=1e-6)
+
+    def test_no_negative_values_from_rounding(self, rng):
+        a = rng.normal(size=(30, 4)) * 1e-8
+        assert (pairwise_distances(a, a) >= 0).all()
+
+
+class TestPointToSetDistances:
+    def test_matches_bruteforce(self, rng):
+        points = rng.normal(size=(50, 6))
+        centers = rng.normal(size=(7, 6))
+        expected_full = np.linalg.norm(points[:, None, :] - centers[None, :, :], axis=2)
+        expected_distance = expected_full.min(axis=1)
+        expected_assignment = expected_full.argmin(axis=1)
+        distances, assignment = point_to_set_distances(points, centers)
+        np.testing.assert_allclose(distances, expected_distance, atol=1e-8)
+        np.testing.assert_array_equal(assignment, expected_assignment)
+
+    def test_chunked_computation_matches_unchunked(self, rng):
+        points = rng.normal(size=(100, 4))
+        centers = rng.normal(size=(5, 4))
+        full, a_full = squared_point_to_set_distances(points, centers)
+        chunked, a_chunked = squared_point_to_set_distances(points, centers, chunk_elements=16)
+        np.testing.assert_allclose(full, chunked)
+        np.testing.assert_array_equal(a_full, a_chunked)
+
+    def test_single_center(self, rng):
+        points = rng.normal(size=(10, 3))
+        center = np.zeros((1, 3))
+        squared, assignment = squared_point_to_set_distances(points, center)
+        np.testing.assert_allclose(squared, np.einsum("ij,ij->i", points, points))
+        assert (assignment == 0).all()
+
+    def test_empty_centers_raise(self, rng):
+        with pytest.raises(ValueError):
+            squared_point_to_set_distances(rng.normal(size=(5, 2)), np.empty((0, 2)))
+
+
+class TestIncrementalUpdate:
+    def test_first_center_initialises(self, rng):
+        points = rng.normal(size=(20, 3))
+        squared, assignment = update_nearest_with_new_center(points, points[0], None, None, 0)
+        assert squared[0] == pytest.approx(0.0)
+        assert (assignment == 0).all()
+
+    def test_incremental_matches_batch(self, rng):
+        points = rng.normal(size=(40, 4))
+        centers = rng.normal(size=(6, 4))
+        squared, assignment = None, None
+        for index in range(centers.shape[0]):
+            squared, assignment = update_nearest_with_new_center(
+                points, centers[index], squared, assignment, index
+            )
+        expected_sq, expected_assignment = squared_point_to_set_distances(points, centers)
+        np.testing.assert_allclose(squared, expected_sq, atol=1e-8)
+        np.testing.assert_array_equal(assignment, expected_assignment)
+
+
+class TestDiameterUpperBound:
+    def test_upper_bounds_true_diameter(self, rng):
+        points = rng.normal(size=(100, 5))
+        true_diameter = pairwise_distances(points, points).max()
+        bound = diameter_upper_bound(points)
+        assert bound >= true_diameter - 1e-9
+        assert bound <= 2 * true_diameter + 1e-9
+
+    def test_identical_points_give_zero(self):
+        points = np.ones((10, 3))
+        assert diameter_upper_bound(points) == pytest.approx(0.0)

@@ -1,0 +1,136 @@
+"""Unit tests for repro.evaluation (distortion metric, solution quality, tables)."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.cost import clustering_cost
+from repro.core import SensitivitySampling, UniformSampling
+from repro.core.coreset import Coreset, trivial_coreset
+from repro.evaluation import (
+    ExperimentRow,
+    coreset_distortion,
+    distortion_of_solution,
+    format_table,
+    rows_to_markdown,
+    solution_cost_on_dataset,
+)
+from repro.evaluation.solution_quality import shared_initialization
+from repro.evaluation.tables import group_rows
+
+
+class TestDistortionOfSolution:
+    def test_exact_coreset_has_distortion_one(self, blobs, rng):
+        coreset = trivial_coreset(blobs)
+        centers = blobs[rng.choice(blobs.shape[0], size=4, replace=False)]
+        report = distortion_of_solution(blobs, coreset, centers)
+        assert report.distortion == pytest.approx(1.0)
+        assert report.cost_on_full == pytest.approx(report.cost_on_coreset)
+
+    def test_distortion_at_least_one(self, blobs, rng):
+        coreset = UniformSampling(seed=0).sample(blobs, 100)
+        centers = blobs[rng.choice(blobs.shape[0], size=4, replace=False)]
+        assert distortion_of_solution(blobs, coreset, centers).distortion >= 1.0
+
+    def test_bad_compression_detected(self, outlier_data):
+        # A compression that drops the outliers entirely: candidate solutions
+        # computed on it ignore the far-away cluster, producing huge distortion.
+        inliers_only = outlier_data[outlier_data[:, 0] < 250.0][:100]
+        bad = Coreset(
+            points=inliers_only,
+            weights=np.full(100, outlier_data.shape[0] / 100),
+            method="bad",
+        )
+        centers = inliers_only[:4]
+        report = distortion_of_solution(outlier_data, bad, centers)
+        assert report.distortion > 10.0
+
+    def test_zero_cost_on_both_sides(self):
+        points = np.zeros((10, 2))
+        coreset = trivial_coreset(points)
+        report = distortion_of_solution(points, coreset, np.zeros((1, 2)))
+        assert report.distortion == 1.0
+
+    def test_infinite_distortion_when_only_one_side_zero(self):
+        points = np.concatenate([np.zeros((10, 2)), np.ones((1, 2))])
+        coreset = trivial_coreset(np.zeros((5, 2)))
+        report = distortion_of_solution(points, coreset, np.zeros((1, 2)))
+        assert report.distortion == float("inf")
+
+
+class TestCoresetDistortion:
+    def test_good_coreset_low_distortion(self, blobs):
+        coreset = SensitivitySampling(k=6, seed=0).sample(blobs, 300)
+        assert coreset_distortion(blobs, coreset, k=6, seed=1) < 1.5
+
+    def test_kmedian_variant(self, blobs):
+        coreset = SensitivitySampling(k=6, z=1, seed=0).sample(blobs, 300)
+        assert coreset_distortion(blobs, coreset, k=6, z=1, seed=1) < 1.5
+
+    def test_k_larger_than_coreset_handled(self, blobs):
+        coreset = UniformSampling(seed=0).sample(blobs, 10)
+        value = coreset_distortion(blobs, coreset, k=50, seed=1)
+        assert value >= 1.0
+
+
+class TestSolutionQuality:
+    def test_shared_initialization_shape(self, blobs):
+        centers = shared_initialization(blobs, 5, seed=0)
+        assert centers.shape == (5, blobs.shape[1])
+
+    def test_cost_from_good_coreset_close_to_full_data_cost(self, blobs):
+        coreset = SensitivitySampling(k=6, seed=0).sample(blobs, 400)
+        initialization = shared_initialization(blobs, 6, seed=0)
+        coreset_cost = solution_cost_on_dataset(
+            blobs, coreset, 6, initial_centers=initialization, seed=1
+        )
+        full_solution = solution_cost_on_dataset(
+            blobs, trivial_coreset(blobs), 6, initial_centers=initialization, seed=1
+        )
+        assert coreset_cost <= full_solution * 2.0
+
+    def test_kmedian_mode(self, blobs):
+        coreset = SensitivitySampling(k=5, z=1, seed=0).sample(blobs, 300)
+        cost = solution_cost_on_dataset(blobs, coreset, 5, z=1, seed=1)
+        assert cost > 0
+
+    def test_cost_is_evaluated_on_full_dataset(self, blobs):
+        coreset = SensitivitySampling(k=5, seed=0).sample(blobs, 200)
+        cost = solution_cost_on_dataset(blobs, coreset, 5, seed=1)
+        # The cost on the full dataset must exceed the optimal coreset cost of
+        # zero and be in the same ballpark as clustering the full data.
+        assert cost > 0
+        assert np.isfinite(cost)
+
+
+class TestTables:
+    @pytest.fixture
+    def rows(self):
+        return [
+            ExperimentRow("t", "adult", "uniform", {"distortion": 1.23, "runtime": 0.5}),
+            ExperimentRow("t", "adult", "fast_coreset", {"distortion": 1.05, "runtime": 2.5}),
+            ExperimentRow("t", "taxi", "uniform", {"distortion": 600.0, "runtime": 0.1}),
+        ]
+
+    def test_format_table_contains_all_rows(self, rows):
+        text = format_table(rows, value_names=["distortion", "runtime"])
+        assert "adult" in text and "taxi" in text
+        assert "fast_coreset" in text
+        assert "600" in text
+
+    def test_markdown_table_shape(self, rows):
+        markdown = rows_to_markdown(rows, value_names=["distortion"])
+        lines = markdown.splitlines()
+        assert lines[0].startswith("| dataset")
+        assert len(lines) == 2 + len(rows)
+
+    def test_missing_value_rendered_as_nan(self, rows):
+        text = format_table(rows, value_names=["nonexistent"])
+        assert "nan" in text
+
+    def test_group_rows(self, rows):
+        by_dataset = group_rows(rows, "dataset")
+        assert set(by_dataset) == {"adult", "taxi"}
+        assert len(by_dataset["adult"]) == 2
+
+    def test_experiment_row_value_accessor(self, rows):
+        assert rows[0].value("distortion") == pytest.approx(1.23)

@@ -1,0 +1,98 @@
+"""Unit tests for repro.core.fast_coreset (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.cost import clustering_cost
+from repro.core.fast_coreset import FastCoreset, fast_coreset
+from repro.evaluation import coreset_distortion
+
+
+class TestFastCoreset:
+    def test_size_method_and_metadata(self, blobs):
+        coreset = FastCoreset(k=6, seed=0).sample(blobs, 200)
+        assert coreset.size == 200
+        assert coreset.method == "fast_coreset"
+        assert coreset.metadata["k"] == 6.0
+        assert coreset.metadata["spread_reduction"] == 1.0
+
+    def test_points_are_input_rows(self, blobs):
+        coreset = FastCoreset(k=5, seed=0).sample(blobs, 150)
+        assert coreset.indices is not None
+        np.testing.assert_allclose(coreset.points, blobs[coreset.indices])
+
+    def test_total_weight_close_to_n(self, blobs):
+        coreset = FastCoreset(k=6, seed=1).sample(blobs, 300)
+        assert coreset.total_weight == pytest.approx(blobs.shape[0], rel=0.3)
+
+    def test_unbiased_cost_estimate(self, blobs, rng):
+        centers = blobs[rng.choice(blobs.shape[0], size=6, replace=False)]
+        true_cost = clustering_cost(blobs, centers)
+        estimates = [
+            FastCoreset(k=6, seed=seed).sample(blobs, 250).cost(centers) for seed in range(8)
+        ]
+        assert np.mean(estimates) == pytest.approx(true_cost, rel=0.25)
+
+    def test_low_distortion_on_easy_data(self, blobs):
+        coreset = FastCoreset(k=6, seed=0).sample(blobs, 300)
+        assert coreset_distortion(blobs, coreset, k=6, seed=1) < 1.5
+
+    def test_low_distortion_on_outlier_data(self, outlier_data):
+        # The scenario where uniform sampling fails: Fast-Coresets must stay accurate.
+        distortions = [
+            coreset_distortion(
+                outlier_data,
+                FastCoreset(k=4, seed=seed).sample(outlier_data, 120),
+                k=4,
+                seed=seed + 100,
+            )
+            for seed in range(5)
+        ]
+        assert max(distortions) < 3.0
+
+    def test_low_distortion_on_geometric_data(self, geometric_data):
+        coreset = FastCoreset(k=10, seed=0).sample(geometric_data, 300)
+        assert coreset_distortion(geometric_data, coreset, k=10, seed=1) < 3.0
+
+    def test_spread_reduction_toggle(self, blobs):
+        with_reduction = FastCoreset(k=5, use_spread_reduction=True, seed=0).sample(blobs, 150)
+        without_reduction = FastCoreset(k=5, use_spread_reduction=False, seed=0).sample(blobs, 150)
+        assert with_reduction.size == without_reduction.size == 150
+        assert "original_spread" in with_reduction.metadata
+        assert "original_spread" not in without_reduction.metadata
+
+    def test_dimension_reduction_applied_to_wide_data(self, rng):
+        wide = rng.normal(size=(500, 200))
+        coreset = FastCoreset(k=5, dimension_threshold=64, seed=0).sample(wide, 100)
+        # Coreset points keep the original dimensionality even though the
+        # seeding ran in the projected space.
+        assert coreset.dimension == 200
+
+    def test_center_correction_variant(self, blobs):
+        corrected = FastCoreset(k=5, include_center_correction=True, seed=0).sample(blobs, 150)
+        plain = FastCoreset(k=5, include_center_correction=False, seed=0).sample(blobs, 150)
+        assert corrected.size >= plain.size
+
+    def test_kmedian_mode(self, blobs):
+        coreset = FastCoreset(k=5, z=1, seed=0).sample(blobs, 200)
+        assert coreset_distortion(blobs, coreset, k=5, z=1, seed=1) < 2.0
+
+    def test_weighted_input_supported(self, blobs, rng):
+        weights = rng.uniform(0.5, 2.0, size=blobs.shape[0])
+        coreset = FastCoreset(k=5, seed=0).sample(blobs, 200, weights=weights)
+        assert coreset.total_weight == pytest.approx(weights.sum(), rel=0.4)
+
+    def test_functional_wrapper(self, blobs):
+        coreset = fast_coreset(blobs, k=5, m=100, seed=0)
+        assert coreset.size == 100
+        assert coreset.method == "fast_coreset"
+
+    def test_invalid_z_rejected(self):
+        with pytest.raises(ValueError):
+            FastCoreset(k=5, z=3)
+
+    def test_reproducible(self, blobs):
+        a = FastCoreset(k=5, seed=11).sample(blobs, 100)
+        b = FastCoreset(k=5, seed=11).sample(blobs, 100)
+        np.testing.assert_array_equal(a.indices, b.indices)
+        np.testing.assert_allclose(a.weights, b.weights)

@@ -1,0 +1,91 @@
+"""Unit tests for repro.geometry.johnson_lindenstrauss."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.johnson_lindenstrauss import (
+    JohnsonLindenstraussEmbedding,
+    jl_target_dimension,
+    maybe_reduce_dimension,
+)
+
+
+class TestTargetDimension:
+    def test_grows_with_k(self):
+        assert jl_target_dimension(1000) >= jl_target_dimension(10)
+
+    def test_respects_minimum(self):
+        assert jl_target_dimension(2, minimum=12) >= 12
+
+    def test_grows_as_epsilon_shrinks(self):
+        assert jl_target_dimension(100, epsilon=0.1) > jl_target_dimension(100, epsilon=1.0)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            jl_target_dimension(0)
+        with pytest.raises(ValueError):
+            jl_target_dimension(10, epsilon=0.0)
+
+
+class TestEmbedding:
+    def test_output_shape(self, rng):
+        points = rng.normal(size=(50, 100))
+        embedding = JohnsonLindenstraussEmbedding(target_dim=10, seed=0)
+        assert embedding.fit_transform(points).shape == (50, 10)
+
+    def test_target_dim_derived_from_k(self, rng):
+        points = rng.normal(size=(30, 200))
+        embedding = JohnsonLindenstraussEmbedding(seed=0)
+        projected = embedding.fit_transform(points, k=20)
+        assert projected.shape[1] == jl_target_dimension(20)
+
+    def test_missing_k_and_dim_raises(self, rng):
+        with pytest.raises(ValueError):
+            JohnsonLindenstraussEmbedding(seed=0).fit(rng.normal(size=(10, 20)))
+
+    def test_transform_before_fit_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            JohnsonLindenstraussEmbedding(target_dim=4).transform(rng.normal(size=(5, 8)))
+
+    def test_dimension_mismatch_raises(self, rng):
+        embedding = JohnsonLindenstraussEmbedding(target_dim=4, seed=0)
+        embedding.fit(rng.normal(size=(10, 8)))
+        with pytest.raises(ValueError):
+            embedding.transform(rng.normal(size=(10, 9)))
+
+    def test_same_seed_same_projection(self, rng):
+        points = rng.normal(size=(20, 30))
+        a = JohnsonLindenstraussEmbedding(target_dim=6, seed=5).fit_transform(points)
+        b = JohnsonLindenstraussEmbedding(target_dim=6, seed=5).fit_transform(points)
+        np.testing.assert_allclose(a, b)
+
+    def test_norms_preserved_on_average(self, rng):
+        # JL preserves squared norms in expectation; with 64 output dimensions
+        # the relative error of the average norm should be small.
+        points = rng.normal(size=(200, 500))
+        embedding = JohnsonLindenstraussEmbedding(target_dim=64, seed=1)
+        projected = embedding.fit_transform(points)
+        original = np.einsum("ij,ij->i", points, points).mean()
+        reduced = np.einsum("ij,ij->i", projected, projected).mean()
+        assert reduced == pytest.approx(original, rel=0.2)
+
+    def test_pairwise_distances_roughly_preserved(self, rng):
+        points = rng.normal(size=(40, 300))
+        projected = JohnsonLindenstraussEmbedding(target_dim=96, seed=2).fit_transform(points)
+        original = np.linalg.norm(points[:, None] - points[None, :], axis=2)
+        reduced = np.linalg.norm(projected[:, None] - projected[None, :], axis=2)
+        mask = original > 0
+        ratios = reduced[mask] / original[mask]
+        assert 0.6 < ratios.mean() < 1.4
+
+
+class TestMaybeReduceDimension:
+    def test_low_dimensional_data_unchanged(self, rng):
+        points = rng.normal(size=(30, 10))
+        result = maybe_reduce_dimension(points, k=5, seed=0)
+        np.testing.assert_array_equal(result, points)
+
+    def test_high_dimensional_data_reduced(self, rng):
+        points = rng.normal(size=(30, 500))
+        result = maybe_reduce_dimension(points, k=5, threshold=64, seed=0)
+        assert result.shape[1] < 500

@@ -1,0 +1,96 @@
+"""Unit tests for repro.clustering.kmeans_pp."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.cost import clustering_cost
+from repro.clustering.kmeans_pp import bicriteria_kmeans_pp, dsquared_sample, kmeans_plus_plus
+
+
+class TestKMeansPlusPlus:
+    def test_returns_k_centers_from_input(self, blobs):
+        solution = kmeans_plus_plus(blobs, 6, seed=0)
+        assert solution.centers.shape == (6, blobs.shape[1])
+        # Every center is an input point.
+        for center in solution.centers:
+            assert np.any(np.all(np.isclose(blobs, center), axis=1))
+
+    def test_assignment_covers_all_points(self, blobs):
+        solution = kmeans_plus_plus(blobs, 5, seed=0)
+        assert solution.assignment.shape == (blobs.shape[0],)
+        assert set(np.unique(solution.assignment)).issubset(set(range(5)))
+
+    def test_cost_matches_clustering_cost(self, blobs):
+        solution = kmeans_plus_plus(blobs, 4, seed=1)
+        assert solution.cost == pytest.approx(clustering_cost(blobs, solution.centers), rel=1e-9)
+
+    def test_seeding_beats_random_centers(self, blobs, rng):
+        seeded = kmeans_plus_plus(blobs, 6, seed=2)
+        random_centers = blobs[rng.choice(blobs.shape[0], size=6, replace=False)]
+        # Averaged over the fixture this holds robustly: D^2 seeding spreads
+        # centers over the clusters while random picks often double up.
+        assert seeded.cost <= clustering_cost(blobs, random_centers) * 1.5
+
+    def test_k_at_least_n_returns_all_points(self):
+        points = np.arange(10, dtype=float).reshape(5, 2)
+        solution = kmeans_plus_plus(points, 7, seed=0)
+        assert solution.centers.shape == (5, 2)
+        assert solution.cost == pytest.approx(0.0)
+
+    def test_reproducible_with_same_seed(self, blobs):
+        a = kmeans_plus_plus(blobs, 5, seed=42)
+        b = kmeans_plus_plus(blobs, 5, seed=42)
+        np.testing.assert_allclose(a.centers, b.centers)
+
+    def test_weighted_selection_prefers_heavy_points(self):
+        # Two locations far apart; one carries almost all of the weight.
+        points = np.concatenate([np.zeros((50, 2)), np.ones((50, 2)) * 100])
+        weights = np.concatenate([np.full(50, 1e-6), np.full(50, 1.0)])
+        solution = kmeans_plus_plus(points, 1, weights=weights, seed=0)
+        assert solution.centers[0, 0] == pytest.approx(100.0, abs=1.0)
+
+    def test_kmedian_mode(self, blobs):
+        solution = kmeans_plus_plus(blobs, 4, z=1, seed=0)
+        assert solution.z == 1
+        assert solution.cost == pytest.approx(clustering_cost(blobs, solution.centers, z=1), rel=1e-9)
+
+    def test_duplicate_points_handled(self):
+        points = np.zeros((30, 3))
+        solution = kmeans_plus_plus(points, 3, seed=0)
+        assert solution.centers.shape == (3, 3)
+        assert solution.cost == pytest.approx(0.0)
+
+
+class TestBicriteria:
+    def test_oversamples_centers(self, blobs):
+        solution = bicriteria_kmeans_pp(blobs, 5, beta=3.0, seed=0)
+        assert solution.centers.shape[0] == 15
+
+    def test_beta_below_one_raises(self, blobs):
+        with pytest.raises(ValueError):
+            bicriteria_kmeans_pp(blobs, 5, beta=0.5)
+
+    def test_more_centers_never_hurt_much(self, blobs):
+        base = kmeans_plus_plus(blobs, 5, seed=0)
+        oversampled = bicriteria_kmeans_pp(blobs, 5, beta=2.0, seed=0)
+        assert oversampled.cost <= base.cost + 1e-9
+
+
+class TestDSquaredSample:
+    def test_sample_size(self, blobs):
+        centers = blobs[:3]
+        indices, mass = dsquared_sample(blobs, centers, 20, seed=0)
+        assert indices.shape == (20,)
+        assert mass.shape == (blobs.shape[0],)
+
+    def test_points_at_centers_never_sampled(self):
+        points = np.concatenate([np.zeros((100, 2)), np.ones((5, 2)) * 10])
+        centers = np.zeros((1, 2))
+        indices, _ = dsquared_sample(points, centers, 50, seed=0)
+        # All the D^2 mass sits on the far-away points.
+        assert (indices >= 100).all()
+
+    def test_degenerate_all_zero_mass(self):
+        points = np.zeros((10, 2))
+        indices, _ = dsquared_sample(points, np.zeros((1, 2)), 5, seed=0)
+        assert indices.shape == (5,)

@@ -1,0 +1,131 @@
+"""Unit tests for repro.clustering.lloyd and repro.clustering.kmedian."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.cost import clustering_cost
+from repro.clustering.kmeans_pp import kmeans_plus_plus
+from repro.clustering.kmedian import cluster_representative, geometric_median, kmedian
+from repro.clustering.lloyd import kmeans, lloyd_iteration
+
+
+class TestLloyd:
+    def test_cost_not_worse_than_seeding(self, blobs):
+        seeding = kmeans_plus_plus(blobs, 6, seed=0)
+        result = kmeans(blobs, 6, initial_centers=seeding.centers, seed=0)
+        assert result.cost <= seeding.cost + 1e-6
+
+    def test_monotone_improvement_over_iterations(self, blobs):
+        one = kmeans(blobs, 5, max_iterations=1, seed=3)
+        many = kmeans(blobs, 5, max_iterations=20, seed=3)
+        assert many.cost <= one.cost + 1e-6
+
+    def test_result_fields(self, blobs):
+        result = kmeans(blobs, 4, seed=0)
+        assert result.centers.shape == (4, blobs.shape[1])
+        assert result.assignment.shape == (blobs.shape[0],)
+        assert result.iterations >= 1
+        assert result.cost == pytest.approx(clustering_cost(blobs, result.centers), rel=1e-6)
+
+    def test_perfectly_separable_data_reaches_zero_cost(self):
+        points = np.concatenate([np.zeros((50, 2)), np.ones((50, 2)) * 100])
+        result = kmeans(points, 2, seed=0)
+        assert result.cost == pytest.approx(0.0, abs=1e-6)
+
+    def test_weighted_clustering_respects_weights(self):
+        points = np.array([[0.0], [1.0], [100.0]])
+        weights = np.array([1.0, 1.0, 1e-9])
+        result = kmeans(points, 1, weights=weights, seed=0)
+        # The heavy points dominate: the single center must sit near 0.5.
+        assert result.centers[0, 0] == pytest.approx(0.5, abs=0.1)
+
+    def test_converged_flag(self, blobs):
+        result = kmeans(blobs, 3, max_iterations=100, tolerance=1e-3, seed=1)
+        assert result.converged
+
+    def test_empty_cluster_reseeded(self):
+        # Force an initial center far away from all points: after one Lloyd
+        # step no point is assigned to it and it must be re-seeded.
+        points = np.concatenate([np.zeros((30, 2)), np.ones((30, 2))])
+        initial = np.array([[0.0, 0.0], [1.0, 1.0], [1e6, 1e6]])
+        result = kmeans(points, 3, initial_centers=initial, max_iterations=3, seed=0)
+        assert np.isfinite(result.centers).all()
+        assert result.centers[:, 0].max() < 1e6
+
+    def test_lloyd_iteration_moves_to_means(self):
+        points = np.array([[0.0, 0.0], [2.0, 0.0], [10.0, 0.0], [12.0, 0.0]])
+        centers = np.array([[1.0, 0.0], [11.0, 0.0]])
+        updated = lloyd_iteration(points, centers, np.ones(4), np.random.default_rng(0))
+        np.testing.assert_allclose(updated, [[1.0, 0.0], [11.0, 0.0]])
+
+    def test_as_solution_view(self, blobs):
+        result = kmeans(blobs, 3, seed=0)
+        solution = result.as_solution()
+        assert solution.k == 3
+        assert solution.z == 2
+
+
+class TestGeometricMedian:
+    def test_single_point(self):
+        point = np.array([[3.0, 4.0]])
+        np.testing.assert_allclose(geometric_median(point), [3.0, 4.0])
+
+    def test_collinear_points_median(self):
+        points = np.array([[0.0], [1.0], [10.0]])
+        # The geometric median of collinear points is the (1-D) median.
+        assert geometric_median(points)[0] == pytest.approx(1.0, abs=1e-3)
+
+    def test_weights_pull_the_median(self):
+        points = np.array([[0.0], [10.0]])
+        weights = np.array([10.0, 1.0])
+        assert geometric_median(points, weights=weights)[0] == pytest.approx(0.0, abs=0.5)
+
+    def test_median_minimises_cost_locally(self, rng):
+        points = rng.normal(size=(200, 3))
+        median = geometric_median(points)
+        cost_at_median = np.linalg.norm(points - median, axis=1).sum()
+        for _ in range(5):
+            perturbed = median + rng.normal(scale=0.05, size=3)
+            cost_perturbed = np.linalg.norm(points - perturbed, axis=1).sum()
+            assert cost_at_median <= cost_perturbed + 1e-6
+
+    def test_robust_to_outlier_compared_to_mean(self):
+        points = np.concatenate([np.zeros((99, 2)), np.array([[1000.0, 1000.0]])])
+        median = geometric_median(points)
+        mean = points.mean(axis=0)
+        assert np.linalg.norm(median) < np.linalg.norm(mean)
+
+
+class TestKMedian:
+    def test_cost_decreases_from_seeding(self, blobs):
+        seeding = kmeans_plus_plus(blobs, 5, z=1, seed=0)
+        result = kmedian(blobs, 5, initial_centers=seeding.centers, seed=0)
+        assert result.cost <= clustering_cost(blobs, seeding.centers, z=1) + 1e-6
+
+    def test_result_cost_consistent(self, blobs):
+        result = kmedian(blobs, 4, seed=1)
+        assert result.cost == pytest.approx(clustering_cost(blobs, result.centers, z=1), rel=1e-6)
+
+    def test_separable_data(self):
+        points = np.concatenate([np.zeros((40, 2)), np.ones((40, 2)) * 50])
+        result = kmedian(points, 2, seed=0)
+        assert result.cost == pytest.approx(0.0, abs=1e-3)
+
+    def test_as_solution_has_z_one(self, blobs):
+        assert kmedian(blobs, 3, seed=0).as_solution().z == 1
+
+
+class TestClusterRepresentative:
+    def test_z2_is_mean(self, rng):
+        points = rng.normal(size=(50, 4))
+        np.testing.assert_allclose(cluster_representative(points, z=2), points.mean(axis=0))
+
+    def test_z1_is_geometric_median(self):
+        points = np.array([[0.0], [1.0], [100.0]])
+        representative = cluster_representative(points, z=1)
+        assert representative[0] == pytest.approx(1.0, abs=1e-2)
+
+    def test_weighted_mean(self):
+        points = np.array([[0.0], [10.0]])
+        weights = np.array([3.0, 1.0])
+        assert cluster_representative(points, weights=weights, z=2)[0] == pytest.approx(2.5)

@@ -1,0 +1,183 @@
+"""Property-based tests (hypothesis) for core invariants of the library.
+
+The strategies generate small random point clouds and weight vectors; the
+properties checked are the paper-level invariants that must hold for *every*
+input, not just the fixtures: unbiased weight totals, cost-estimator
+consistency, quadtree metric domination, grid-separation bounds, and the
+coreset composition property.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.clustering.cost import clustering_cost
+from repro.clustering.kmeans_pp import kmeans_plus_plus
+from repro.core import (
+    FastCoreset,
+    LightweightCoreset,
+    SensitivitySampling,
+    UniformSampling,
+    merge_coresets,
+)
+from repro.core.sensitivity import sensitivity_scores
+from repro.geometry.grid import assign_to_grid, hash_rows, random_grid_shift
+from repro.geometry.quadtree import QuadtreeEmbedding
+from repro.utils.weights import weighted_mean, weighted_variance
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+points_strategy = arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(20, 120), st.integers(2, 6)),
+    elements=st.floats(-100.0, 100.0, allow_nan=False, allow_infinity=False, width=64),
+)
+
+
+def _deduplicate(points: np.ndarray) -> np.ndarray:
+    """Add a deterministic jitter so degenerate all-equal inputs stay valid."""
+    jitter = np.linspace(0.0, 1e-3, points.size).reshape(points.shape)
+    return points + jitter
+
+
+class TestSamplerProperties:
+    @SETTINGS
+    @given(points=points_strategy, seed=st.integers(0, 10_000))
+    def test_uniform_sampling_weight_total_is_exact(self, points, seed):
+        points = _deduplicate(points)
+        m = max(1, points.shape[0] // 3)
+        coreset = UniformSampling(seed=seed).sample(points, m)
+        assert coreset.total_weight == pytest.approx(points.shape[0], rel=1e-9)
+        assert (coreset.weights > 0).all()
+
+    @SETTINGS
+    @given(points=points_strategy, seed=st.integers(0, 10_000))
+    def test_lightweight_coreset_weights_positive_and_bounded(self, points, seed):
+        points = _deduplicate(points)
+        m = max(1, points.shape[0] // 3)
+        coreset = LightweightCoreset(seed=seed).sample(points, m)
+        assert (coreset.weights > 0).all()
+        # No single point may represent more than the whole dataset by a huge
+        # factor: the +1/n term in the scores lower-bounds every probability.
+        assert coreset.total_weight <= points.shape[0] * 10
+
+    @SETTINGS
+    @given(points=points_strategy, seed=st.integers(0, 10_000))
+    def test_sensitivity_coreset_points_are_input_rows(self, points, seed):
+        points = _deduplicate(points)
+        k = min(5, points.shape[0] - 1)
+        m = max(1, points.shape[0] // 3)
+        coreset = SensitivitySampling(k=max(1, k), seed=seed).sample(points, m)
+        assert coreset.indices is not None
+        np.testing.assert_allclose(coreset.points, points[coreset.indices])
+
+    @SETTINGS
+    @given(points=points_strategy, seed=st.integers(0, 1_000))
+    def test_fast_coreset_weights_non_negative(self, points, seed):
+        points = _deduplicate(points)
+        k = min(4, max(1, points.shape[0] // 10))
+        m = max(2, points.shape[0] // 4)
+        coreset = FastCoreset(k=k, seed=seed).sample(points, m)
+        assert (coreset.weights >= 0).all()
+        assert coreset.size >= m  # sampling with replacement keeps exactly m (or more with correction)
+
+    @SETTINGS
+    @given(points=points_strategy, seed=st.integers(0, 10_000))
+    def test_sensitivity_scores_per_cluster_normalisation(self, points, seed):
+        points = _deduplicate(points)
+        k = min(4, max(1, points.shape[0] // 8))
+        solution = kmeans_plus_plus(points, k, seed=seed)
+        scores = sensitivity_scores(points, solution)
+        assert (scores >= 0).all()
+        total = scores.sum()
+        occupied = np.unique(solution.assignment).shape[0]
+        # Each occupied cluster contributes exactly 1 from the 1/|C| terms and
+        # at most 1 from the cost-share terms (exactly 1 unless the cluster
+        # has zero cost, e.g. it only contains its own center).
+        assert occupied - 1e-6 <= total <= 2.0 * occupied + 1e-6
+
+
+class TestCompositionProperties:
+    @SETTINGS
+    @given(points=points_strategy, seed=st.integers(0, 10_000))
+    def test_merge_preserves_total_weight(self, points, seed):
+        points = _deduplicate(points)
+        half = points.shape[0] // 2
+        first = UniformSampling(seed=seed).sample(points[:half], max(1, half // 2))
+        second = UniformSampling(seed=seed + 1).sample(points[half:], max(1, (points.shape[0] - half) // 2))
+        merged = merge_coresets([first, second])
+        assert merged.total_weight == pytest.approx(first.total_weight + second.total_weight)
+
+    @SETTINGS
+    @given(points=points_strategy, seed=st.integers(0, 10_000))
+    def test_merge_cost_estimate_is_sum_of_parts(self, points, seed):
+        points = _deduplicate(points)
+        half = points.shape[0] // 2
+        rng = np.random.default_rng(seed)
+        centers = points[rng.choice(points.shape[0], size=min(3, points.shape[0]), replace=False)]
+        first = UniformSampling(seed=seed).sample(points[:half], max(1, half // 2))
+        second = UniformSampling(seed=seed + 1).sample(points[half:], max(1, (points.shape[0] - half) // 2))
+        merged = merge_coresets([first, second])
+        assert merged.cost(centers) == pytest.approx(first.cost(centers) + second.cost(centers), rel=1e-9)
+
+
+class TestGeometryProperties:
+    @SETTINGS
+    @given(points=points_strategy, seed=st.integers(0, 10_000))
+    def test_quadtree_distances_dominate_euclidean(self, points, seed):
+        points = _deduplicate(points)
+        tree = QuadtreeEmbedding(seed=seed).fit(points)
+        rng = np.random.default_rng(seed)
+        for _ in range(10):
+            i, j = rng.integers(0, points.shape[0], size=2)
+            if i == j:
+                continue
+            euclidean = float(np.linalg.norm(points[i] - points[j]))
+            assert tree.tree_distance(int(i), int(j)) >= euclidean - 1e-6
+
+    @SETTINGS
+    @given(points=points_strategy, seed=st.integers(0, 10_000), side=st.floats(0.5, 50.0))
+    def test_grid_cells_partition_points(self, points, seed, side):
+        points = _deduplicate(points)
+        shift = random_grid_shift(points.shape[1], side, seed=seed)
+        assignment = assign_to_grid(points, side, shift)
+        members = np.concatenate(list(assignment.cells.values()))
+        assert sorted(members.tolist()) == list(range(points.shape[0]))
+
+    @SETTINGS
+    @given(
+        lattice=arrays(
+            dtype=np.int64,
+            shape=st.tuples(st.integers(1, 200), st.integers(1, 6)),
+            elements=st.integers(-10**6, 10**6),
+        )
+    )
+    def test_hash_rows_consistent_with_row_equality(self, lattice):
+        keys = hash_rows(lattice)
+        # Equal rows always hash equally (collisions of distinct rows are
+        # possible in principle but never the other way around).
+        _, inverse = np.unique(lattice, axis=0, return_inverse=True)
+        inverse = inverse.reshape(-1)
+        for group in range(inverse.max() + 1):
+            group_keys = keys[inverse == group]
+            assert np.unique(group_keys).shape[0] == 1
+
+
+class TestWeightedStatisticsProperties:
+    @SETTINGS
+    @given(points=points_strategy)
+    def test_weighted_mean_matches_numpy_for_unit_weights(self, points):
+        np.testing.assert_allclose(weighted_mean(points), points.mean(axis=0), atol=1e-8)
+
+    @SETTINGS
+    @given(points=points_strategy)
+    def test_weighted_variance_is_one_means_cost(self, points):
+        mean = points.mean(axis=0)
+        expected = clustering_cost(points, mean[None, :], z=2)
+        assert weighted_variance(points) == pytest.approx(expected, rel=1e-6, abs=1e-6)

@@ -1,0 +1,198 @@
+"""Unit tests for repro.streaming (stream, merge-&-reduce, BICO, StreamKM++)."""
+
+import numpy as np
+import pytest
+
+from repro.core import SensitivitySampling, UniformSampling
+from repro.evaluation import coreset_distortion
+from repro.streaming import (
+    BicoCoreset,
+    ClusteringFeature,
+    DataStream,
+    MergeReduceTree,
+    StreamKMPlusPlus,
+    StreamingCoresetPipeline,
+    iterate_blocks,
+)
+from repro.streaming.merge_reduce import level_pattern, stream_dataset
+
+
+class TestDataStream:
+    def test_blocks_cover_all_points(self, blobs):
+        stream = DataStream(points=blobs, block_size=100)
+        total = sum(block.shape[0] for block, _ in stream)
+        assert total == blobs.shape[0]
+
+    def test_block_size_respected(self, blobs):
+        for block, _ in DataStream(points=blobs, block_size=64):
+            assert block.shape[0] <= 64
+
+    def test_n_blocks_property(self, blobs):
+        stream = DataStream(points=blobs, block_size=100)
+        assert stream.n_blocks == int(np.ceil(blobs.shape[0] / 100))
+        assert stream.dimension == blobs.shape[1]
+
+    def test_with_block_count(self, blobs):
+        stream = DataStream.with_block_count(blobs, 7)
+        assert len(list(stream)) == 7
+
+    def test_weights_carried_through(self, blobs, rng):
+        weights = rng.uniform(1, 2, size=blobs.shape[0])
+        stream = DataStream(points=blobs, block_size=200, weights=weights)
+        total_weight = sum(block_weights.sum() for _, block_weights in stream)
+        assert total_weight == pytest.approx(weights.sum())
+
+    def test_shuffle_changes_order_not_content(self, blobs):
+        plain = np.concatenate([b for b, _ in iterate_blocks(blobs, 100)])
+        shuffled = np.concatenate([b for b, _ in iterate_blocks(blobs, 100, shuffle=True, seed=0)])
+        assert not np.allclose(plain, shuffled)
+        np.testing.assert_allclose(np.sort(plain, axis=0), np.sort(shuffled, axis=0))
+
+    def test_replayable(self, blobs):
+        stream = DataStream(points=blobs, block_size=300)
+        assert len(list(stream)) == len(list(stream))
+
+
+class TestMergeReduce:
+    def test_final_coreset_size_bounded(self, blobs):
+        pipeline = StreamingCoresetPipeline(sampler=UniformSampling(seed=0), coreset_size=120, seed=0)
+        coreset = pipeline.run(DataStream(points=blobs, block_size=200))
+        assert coreset.size <= 120
+
+    def test_total_weight_preserved_approximately(self, blobs):
+        pipeline = StreamingCoresetPipeline(
+            sampler=SensitivitySampling(k=5, seed=0), coreset_size=150, seed=0
+        )
+        coreset = pipeline.run(DataStream(points=blobs, block_size=250))
+        assert coreset.total_weight == pytest.approx(blobs.shape[0], rel=0.35)
+
+    def test_streaming_distortion_reasonable(self, blobs):
+        coreset = stream_dataset(
+            blobs, SensitivitySampling(k=6, seed=0), coreset_size=300, n_blocks=8, seed=0
+        )
+        assert coreset_distortion(blobs, coreset, k=6, seed=1) < 2.0
+
+    def test_method_records_sampler(self, blobs):
+        coreset = stream_dataset(blobs, UniformSampling(seed=0), coreset_size=100, n_blocks=4, seed=0)
+        assert coreset.method == "merge_reduce[uniform]"
+
+    def test_tree_reduction_count_grows_with_blocks(self, blobs):
+        tree = MergeReduceTree(sampler=UniformSampling(seed=0), coreset_size=60, seed=0)
+        for block, weights in DataStream(points=blobs, block_size=100):
+            tree.add_block(block, weights)
+        tree.finalize()
+        assert tree.blocks_seen == int(np.ceil(blobs.shape[0] / 100))
+        assert tree.reductions >= tree.blocks_seen // 2
+
+    def test_finalize_without_blocks_raises(self):
+        tree = MergeReduceTree(sampler=UniformSampling(seed=0), coreset_size=10, seed=0)
+        with pytest.raises(ValueError):
+            tree.finalize()
+
+    def test_run_with_statistics(self, blobs):
+        pipeline = StreamingCoresetPipeline(sampler=UniformSampling(seed=0), coreset_size=80, seed=0)
+        coreset, statistics = pipeline.run_with_statistics(DataStream(points=blobs, block_size=300))
+        assert statistics["blocks"] == pytest.approx(np.ceil(blobs.shape[0] / 300))
+        assert statistics["coreset_size"] == coreset.size
+
+    def test_level_pattern_binary_counter_invariant(self):
+        # For 7 blocks the surviving groups cover 7 = 1 + 2 + 4 blocks (one
+        # group per set bit); 8 blocks collapse into a single group.
+        groups = level_pattern(7)
+        assert sorted(len(g) for g in groups) == [1, 2, 4]
+        assert sorted(sum(groups, [])) == list(range(1, 8))
+        assert [len(g) for g in level_pattern(8)] == [8]
+
+    def test_level_pattern_partitions_blocks(self):
+        for n_blocks in (1, 3, 5, 13):
+            groups = level_pattern(n_blocks)
+            assert sorted(sum(groups, [])) == list(range(1, n_blocks + 1))
+
+
+class TestClusteringFeature:
+    def test_from_point_and_centroid(self):
+        feature = ClusteringFeature.from_point(np.array([2.0, 4.0]), 3.0)
+        np.testing.assert_allclose(feature.centroid, [2.0, 4.0])
+        assert feature.weight == 3.0
+        assert feature.internal_cost == pytest.approx(0.0)
+
+    def test_absorb_updates_statistics(self):
+        feature = ClusteringFeature.from_point(np.array([0.0, 0.0]), 1.0)
+        feature.absorb(np.array([2.0, 0.0]), 1.0)
+        np.testing.assert_allclose(feature.centroid, [1.0, 0.0])
+        # SSE of two unit-weight points around their mean is 1 + 1 = 2.
+        assert feature.internal_cost == pytest.approx(2.0)
+
+    def test_merge_cost_formula(self):
+        feature = ClusteringFeature.from_point(np.array([0.0]), 1.0)
+        # delta = w * W / (w + W) * ||p - c||^2 = 1 * 1 / 2 * 4 = 2.
+        assert feature.merge_cost(np.array([2.0]), 1.0) == pytest.approx(2.0)
+
+
+class TestBico:
+    def test_respects_coreset_size(self, blobs):
+        coreset = BicoCoreset(coreset_size=100, seed=0).sample(blobs, 100)
+        assert coreset.size <= 100
+
+    def test_total_weight_exact(self, blobs):
+        coreset = BicoCoreset(coreset_size=100, seed=0).sample(blobs, 100)
+        assert coreset.total_weight == pytest.approx(blobs.shape[0])
+
+    def test_streaming_interface(self, blobs):
+        bico = BicoCoreset(coreset_size=150, seed=0)
+        for block, weights in DataStream(points=blobs, block_size=250):
+            bico.insert_block(block, weights)
+        coreset = bico.to_coreset()
+        assert coreset.size <= 150
+        assert coreset.total_weight == pytest.approx(blobs.shape[0])
+
+    def test_to_coreset_without_points_raises(self):
+        with pytest.raises(ValueError):
+            BicoCoreset(coreset_size=10).to_coreset()
+
+    def test_reset_clears_state(self, blobs):
+        bico = BicoCoreset(coreset_size=50, seed=0)
+        bico.insert_block(blobs[:100])
+        bico.reset()
+        assert bico.points_seen == 0
+        with pytest.raises(ValueError):
+            bico.to_coreset()
+
+    def test_quantisation_quality_reasonable(self, blobs):
+        # BICO is a decent quantiser even if its coreset distortion is weak.
+        coreset = BicoCoreset(coreset_size=200, seed=0).sample(blobs, 200)
+        distortion = coreset_distortion(blobs, coreset, k=6, seed=1)
+        assert distortion < 10.0
+
+
+class TestStreamKM:
+    def test_respects_coreset_size(self, blobs):
+        coreset = StreamKMPlusPlus(coreset_size=150, seed=0).sample(blobs, 150)
+        assert coreset.size <= 150
+
+    def test_total_weight_exact(self, blobs):
+        coreset = StreamKMPlusPlus(coreset_size=150, seed=0).sample(blobs, 150)
+        assert coreset.total_weight == pytest.approx(blobs.shape[0])
+
+    def test_streaming_interface(self, blobs):
+        streamkm = StreamKMPlusPlus(coreset_size=120, seed=0)
+        for block, weights in DataStream(points=blobs, block_size=300):
+            streamkm.insert_block(block, weights)
+        coreset = streamkm.to_coreset()
+        assert coreset.size <= 120
+        assert coreset.total_weight == pytest.approx(blobs.shape[0])
+
+    def test_to_coreset_without_points_raises(self):
+        with pytest.raises(ValueError):
+            StreamKMPlusPlus(coreset_size=10).to_coreset()
+
+    def test_reset(self, blobs):
+        streamkm = StreamKMPlusPlus(coreset_size=50, seed=0)
+        streamkm.insert_block(blobs[:200])
+        streamkm.reset()
+        with pytest.raises(ValueError):
+            streamkm.to_coreset()
+
+    def test_distortion_reasonable_on_easy_data(self, blobs):
+        coreset = StreamKMPlusPlus(coreset_size=300, seed=0).sample(blobs, 300)
+        assert coreset_distortion(blobs, coreset, k=6, seed=1) < 3.0

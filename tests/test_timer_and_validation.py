@@ -1,0 +1,140 @@
+"""Unit tests for repro.utils.timer and repro.utils.validation."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils.timer import StopwatchRecorder, Timer, timed
+from repro.utils.validation import (
+    check_array,
+    check_integer,
+    check_points,
+    check_positive,
+    check_power,
+    check_probability,
+    check_sample_size,
+    check_weights,
+)
+
+
+class TestTimer:
+    def test_context_manager_measures_time(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.009
+
+    def test_start_stop(self):
+        timer = Timer()
+        timer.start()
+        time.sleep(0.005)
+        elapsed = timer.stop()
+        assert elapsed >= 0.004
+        assert timer.elapsed == elapsed
+
+    def test_timed_returns_result_and_seconds(self):
+        result, seconds = timed(sum, range(100))
+        assert result == 4950
+        assert seconds >= 0.0
+
+    def test_stopwatch_recorder_summary(self):
+        recorder = StopwatchRecorder()
+        recorder.record("a", 1.0)
+        recorder.record("a", 3.0)
+        recorder.record("b", 2.0)
+        summary = recorder.summary()
+        assert summary["a"][0] == pytest.approx(2.0)
+        assert summary["a"][1] == pytest.approx(1.0)
+        assert summary["b"] == (2.0, 0.0)
+
+
+class TestCheckArray:
+    def test_converts_lists(self):
+        array = check_array([[1, 2], [3, 4]])
+        assert array.dtype == np.float64
+        assert array.shape == (2, 2)
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ValueError, match="2-dimensional"):
+            check_array([1.0, 2.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            check_array(np.empty((0, 3)))
+
+    def test_allows_empty_when_requested(self):
+        array = check_array(np.empty((0, 3)), allow_empty=True)
+        assert array.shape == (0, 3)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            check_array([[np.nan, 1.0]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError):
+            check_array([[np.inf, 1.0]])
+
+    def test_check_points_alias(self):
+        points = check_points([[0.0, 1.0]])
+        assert points.shape == (1, 2)
+
+
+class TestCheckWeights:
+    def test_none_gives_unit_weights(self):
+        weights = check_weights(None, 4)
+        np.testing.assert_array_equal(weights, np.ones(4))
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError, match="length"):
+            check_weights(np.ones(3), 4)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            check_weights(np.array([1.0, -1.0]), 2)
+
+    def test_rejects_two_dimensional(self):
+        with pytest.raises(ValueError):
+            check_weights(np.ones((2, 2)), 2)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_weights(np.array([np.nan, 1.0]), 2)
+
+
+class TestScalarChecks:
+    def test_check_integer_accepts_numpy_int(self):
+        assert check_integer(np.int64(5), name="k") == 5
+
+    def test_check_integer_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_integer(5.0, name="k")
+
+    def test_check_integer_respects_minimum(self):
+        with pytest.raises(ValueError):
+            check_integer(0, name="k")
+
+    def test_check_positive(self):
+        assert check_positive(0.5, name="eps") == 0.5
+        with pytest.raises(ValueError):
+            check_positive(0.0, name="eps")
+        with pytest.raises(ValueError):
+            check_positive(float("nan"), name="eps")
+
+    def test_check_probability(self):
+        assert check_probability(0.0, name="p") == 0.0
+        assert check_probability(1.0, name="p") == 1.0
+        with pytest.raises(ValueError):
+            check_probability(1.5, name="p")
+
+    def test_check_power(self):
+        assert check_power(1) == 1
+        assert check_power(2) == 2
+        with pytest.raises(ValueError):
+            check_power(3)
+
+    def test_check_sample_size(self):
+        assert check_sample_size(5, 10) == 5
+        with pytest.raises(ValueError):
+            check_sample_size(11, 10)
+        with pytest.raises(ValueError):
+            check_sample_size(0, 10)

@@ -1,0 +1,91 @@
+"""Unit tests for repro.utils.weights."""
+
+import numpy as np
+import pytest
+
+from repro.utils.weights import (
+    effective_sample_size,
+    normalize_weights,
+    weighted_mean,
+    weighted_quantile,
+    weighted_variance,
+)
+
+
+class TestNormalizeWeights:
+    def test_sums_to_one(self):
+        normalized = normalize_weights(np.array([1.0, 3.0]))
+        assert normalized.sum() == pytest.approx(1.0)
+        np.testing.assert_allclose(normalized, [0.25, 0.75])
+
+    def test_zero_sum_raises(self):
+        with pytest.raises(ValueError):
+            normalize_weights(np.zeros(3))
+
+
+class TestWeightedMean:
+    def test_unit_weights_match_numpy(self):
+        points = np.arange(12, dtype=float).reshape(4, 3)
+        np.testing.assert_allclose(weighted_mean(points), points.mean(axis=0))
+
+    def test_weights_shift_the_mean(self):
+        points = np.array([[0.0], [10.0]])
+        weights = np.array([3.0, 1.0])
+        assert weighted_mean(points, weights)[0] == pytest.approx(2.5)
+
+    def test_zero_weights_fall_back_to_unweighted(self):
+        points = np.array([[0.0], [10.0]])
+        assert weighted_mean(points, np.zeros(2))[0] == pytest.approx(5.0)
+
+
+class TestWeightedVariance:
+    def test_equals_one_means_cost(self):
+        points = np.array([[0.0], [2.0]])
+        # Mean is 1, squared deviations are 1 + 1 = 2.
+        assert weighted_variance(points) == pytest.approx(2.0)
+
+    def test_weighting_changes_cost(self):
+        points = np.array([[0.0], [2.0]])
+        weights = np.array([3.0, 1.0])
+        # Weighted mean is 0.5; cost = 3*0.25 + 1*2.25 = 3.
+        assert weighted_variance(points, weights) == pytest.approx(3.0)
+
+    def test_single_point_is_zero(self):
+        assert weighted_variance(np.array([[4.0, 2.0]])) == pytest.approx(0.0)
+
+
+class TestWeightedQuantile:
+    def test_median_of_unit_weights(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert weighted_quantile(values, 0.5) == pytest.approx(3.0)
+
+    def test_weights_move_the_quantile(self):
+        values = np.array([1.0, 10.0])
+        weights = np.array([9.0, 1.0])
+        assert weighted_quantile(values, 0.5, weights) == pytest.approx(1.0)
+
+    def test_extreme_quantiles(self):
+        values = np.array([3.0, 1.0, 2.0])
+        assert weighted_quantile(values, 0.0) == pytest.approx(1.0)
+        assert weighted_quantile(values, 1.0) == pytest.approx(3.0)
+
+    def test_invalid_quantile_raises(self):
+        with pytest.raises(ValueError):
+            weighted_quantile(np.array([1.0]), 1.5)
+
+    def test_two_dimensional_values_raise(self):
+        with pytest.raises(ValueError):
+            weighted_quantile(np.ones((2, 2)), 0.5)
+
+
+class TestEffectiveSampleSize:
+    def test_uniform_weights_give_n(self):
+        assert effective_sample_size(np.ones(50)) == pytest.approx(50.0)
+
+    def test_single_heavy_weight_gives_one(self):
+        weights = np.zeros(10)
+        weights[0] = 5.0
+        assert effective_sample_size(weights) == pytest.approx(1.0)
+
+    def test_zero_weights_give_zero(self):
+        assert effective_sample_size(np.zeros(5)) == 0.0
