@@ -1,0 +1,16 @@
+# Developer entry points.  `make test` is the tier-1 gate; `make bench`
+# refreshes the hot-path perf trajectory and fails (without overwriting
+# BENCH_hotpaths.json) when any tracked workload regressed by more than 20%.
+
+PYTHON ?= python
+
+.PHONY: test test-fast bench
+
+test:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+test-fast:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q -m "not slow"
+
+bench:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_perf_hotpaths.py --check-regression

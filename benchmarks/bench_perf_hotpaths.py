@@ -1,0 +1,175 @@
+"""Perf-regression harness for the quadtree / Fast-kmeans++ hot path.
+
+Times the *frozen seed implementation* (:mod:`repro.reference.seed_hotpath`)
+against the optimized live implementation **in the same run**, on the same
+synthetic workloads and hardware, and writes a machine-readable
+``BENCH_hotpaths.json`` at the repository root.  Every future perf PR is
+judged against that trajectory: ``make bench`` re-runs this script with
+``--check-regression``, which refuses to overwrite the JSON when the
+optimized time of any tracked workload regresses by more than
+``REGRESSION_TOLERANCE`` (20%).
+
+Measured components per ``(n, d, k)`` workload:
+
+* ``quadtree_fit`` — one tree fit (CSR grouping + distance table vs the
+  seed's dict-of-arrays Python grouping loop).
+* ``fast_kmeans_pp`` — the full multi-tree seeding (shared spread,
+  incremental D²-mass, searchsorted draws vs per-center recompute +
+  ``generator.choice``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_perf_hotpaths.py [--full]
+        [--repeats R] [--check-regression] [--output PATH]
+
+The quick (tracked) suite runs by default; ``--full`` adds larger sweeps.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.clustering.fast_kmeans_pp import fast_kmeans_plus_plus
+from repro.data.synthetic import gaussian_mixture
+from repro.geometry.quadtree import QuadtreeEmbedding
+from repro.reference.seed_hotpath import SeedQuadtreeEmbedding, seed_fast_kmeans_plus_plus
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_hotpaths.json"
+
+#: Refuse to record a run where any tracked workload got this much slower.
+REGRESSION_TOLERANCE = 0.20
+
+#: (name, n, d, k, component).  The ``quick`` suite is the tracked set every
+#: PR must hold; ``--full`` adds larger sweeps for local investigation.
+QUICK_WORKLOADS = [
+    ("fast_kmeans_pp_n10k_d5_k50", 10_000, 5, 50, "fast_kmeans_pp"),
+    ("fast_kmeans_pp_n50k_d10_k100", 50_000, 10, 100, "fast_kmeans_pp"),
+    ("fast_kmeans_pp_n20k_d20_k64", 20_000, 20, 64, "fast_kmeans_pp"),
+    ("quadtree_fit_n50k_d10", 50_000, 10, 0, "quadtree_fit"),
+    ("quadtree_fit_n20k_d20", 20_000, 20, 0, "quadtree_fit"),
+]
+FULL_EXTRA = [
+    ("fast_kmeans_pp_n100k_d10_k200", 100_000, 10, 200, "fast_kmeans_pp"),
+    ("quadtree_fit_n100k_d10", 100_000, 10, 0, "quadtree_fit"),
+]
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _workload_points(n: int, d: int, seed: int = 1) -> np.ndarray:
+    clusters = max(2, min(50, n // 200))
+    return gaussian_mixture(n=n, d=d, n_clusters=clusters, gamma=0.0, seed=seed).points
+
+
+def run_workload(name: str, n: int, d: int, k: int, component: str, repeats: int) -> dict:
+    points = _workload_points(n, d)
+    if component == "fast_kmeans_pp":
+        optimized = _best_of(lambda: fast_kmeans_plus_plus(points, k, seed=0), repeats)
+        seed_time = _best_of(lambda: seed_fast_kmeans_plus_plus(points, k, seed=0), repeats)
+    elif component == "quadtree_fit":
+        optimized = _best_of(lambda: QuadtreeEmbedding(seed=0).fit(points), repeats)
+        seed_time = _best_of(lambda: SeedQuadtreeEmbedding(seed=0).fit(points), repeats)
+    else:
+        raise ValueError(f"unknown component {component!r}")
+    return {
+        "name": name,
+        "component": component,
+        "n": n,
+        "d": d,
+        "k": k,
+        "seed_seconds": round(seed_time, 6),
+        "optimized_seconds": round(optimized, 6),
+        "speedup": round(seed_time / optimized, 3),
+    }
+
+
+def check_regression(previous: dict, results: list) -> list:
+    """Return human-readable regression messages (empty when clean).
+
+    The compared quantity is the optimized-to-seed time *ratio* of each
+    tracked workload, not absolute seconds: the seed implementation is
+    re-timed in the same process on the same hardware, so the ratio is
+    machine-independent and a recorded JSON from faster or slower hardware
+    neither blocks nor masks anything.
+    """
+    messages = []
+    old_by_name = {w["name"]: w for w in previous.get("workloads", [])}
+    for workload in results:
+        old = old_by_name.get(workload["name"])
+        if old is None or old.get("seed_seconds", 0) <= 0:
+            continue
+        before = old["optimized_seconds"] / old["seed_seconds"]
+        after = workload["optimized_seconds"] / workload["seed_seconds"]
+        if after > before * (1.0 + REGRESSION_TOLERANCE):
+            messages.append(
+                f"{workload['name']}: optimized/seed time ratio regressed "
+                f"{before:.3f} -> {after:.3f} (+{(after / before - 1) * 100:.0f}%, "
+                f"tolerance {REGRESSION_TOLERANCE * 100:.0f}%)"
+            )
+    return messages
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--full", action="store_true", help="add the larger sweep workloads")
+    parser.add_argument("--repeats", type=int, default=3, help="best-of-R timing (default 3)")
+    parser.add_argument(
+        "--check-regression",
+        action="store_true",
+        help="refuse to overwrite the JSON when a tracked workload regressed >20%%",
+    )
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    args = parser.parse_args(argv)
+
+    workloads = QUICK_WORKLOADS + (FULL_EXTRA if args.full else [])
+    results = []
+    for name, n, d, k, component in workloads:
+        result = run_workload(name, n, d, k, component, args.repeats)
+        print(
+            f"{name:36s} seed {result['seed_seconds']:8.4f}s   "
+            f"optimized {result['optimized_seconds']:8.4f}s   "
+            f"speedup {result['speedup']:6.2f}x"
+        )
+        results.append(result)
+
+    payload = {
+        "benchmark": "hotpaths",
+        "repeats": args.repeats,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "regression_tolerance": REGRESSION_TOLERANCE,
+        "workloads": results,
+    }
+
+    if args.output.exists() and args.check_regression:
+        previous = json.loads(args.output.read_text())
+        messages = check_regression(previous, results)
+        if messages:
+            print("\nREGRESSION — refusing to overwrite", args.output, file=sys.stderr)
+            for message in messages:
+                print("  *", message, file=sys.stderr)
+            return 1
+
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,6 +20,28 @@ multi-tree metric, yielding an ``O(d^z log k)``-approximate assignment
 (Lemma 3.1 of [23]) whose runtime is governed by ``n log Delta`` rather than
 ``n k``.  That assignment is exactly what Algorithm 1 (the Fast-Coreset
 construction) consumes.
+
+Execution notes
+---------------
+The hot loop is vectorized around the quadtree's CSR cell storage
+(:mod:`repro.geometry.quadtree`): every ``register_center`` update reads one
+contiguous member slice per level and applies a masked minimum, and the
+per-tree level-to-distance mapping is a precomputed table lookup.  The
+spread estimate is computed once per fit and shared by every tree (or passed
+in by the caller, e.g. :class:`repro.core.fast_coreset.FastCoreset` reusing
+its spread-reduction diagnostic).
+
+The D²-sampling mass is maintained *incrementally*: after each center the
+invariant ``mass[i] == weights[i] * best_distance[i] ** z`` is restored by
+rewriting only the entries whose best distance shrank, and each draw is a
+cumulative sum plus one ``searchsorted`` binary search instead of
+``generator.choice`` over a freshly normalised length-``n`` probability
+vector.  The draw mechanism consumes the generator differently from the
+seed implementation, so fixed-seed outputs differ from the seed revision —
+but the selection law is unchanged (``Pr[i] = mass[i] / total``), which the
+distributional tests in ``tests/test_rng.py`` and
+``tests/test_perf_scaling.py`` cover.  Same-seed runs of *this*
+implementation remain exactly reproducible.
 """
 
 from __future__ import annotations
@@ -30,8 +52,8 @@ from typing import List, Optional
 import numpy as np
 
 from repro.clustering.cost import ClusteringSolution, cost_to_assigned_centers
-from repro.geometry.quadtree import QuadtreeEmbedding
-from repro.utils.rng import SeedLike, as_generator
+from repro.geometry.quadtree import QuadtreeEmbedding, compute_spread
+from repro.utils.rng import SeedLike, as_generator, weighted_index_draw
 from repro.utils.validation import check_integer, check_points, check_power, check_weights
 
 
@@ -51,6 +73,9 @@ class FastKMeansPlusPlus:
         (less over-estimating) metric at a proportional construction cost.
     max_levels:
         Depth cap forwarded to each quadtree embedding.
+    spread:
+        Optional precomputed spread estimate shared by all trees; ``None``
+        computes it once per :meth:`fit` (never once per tree).
     seed:
         Randomness for the quadtree shifts and the sampling.
 
@@ -69,6 +94,7 @@ class FastKMeansPlusPlus:
     z: int = 2
     n_trees: int = 3
     max_levels: int = 32
+    spread: Optional[float] = None
     seed: SeedLike = None
     trees_: List[QuadtreeEmbedding] = field(default_factory=list, init=False, repr=False)
     center_indices_: Optional[np.ndarray] = field(default=None, init=False, repr=False)
@@ -92,7 +118,8 @@ class FastKMeansPlusPlus:
         n = points.shape[0]
         self.k = check_integer(self.k, name="k")
         self.z = check_power(self.z)
-        check_integer(self.n_trees, name="n_trees")
+        self.n_trees = check_integer(self.n_trees, name="n_trees")
+        self.max_levels = check_integer(self.max_levels, name="max_levels")
         weights = check_weights(weights, n)
         generator = as_generator(self.seed)
 
@@ -102,23 +129,25 @@ class FastKMeansPlusPlus:
             self.center_indices_ = assignment.copy()
             return ClusteringSolution(centers=centers, assignment=assignment, cost=0.0, z=self.z)
 
+        spread = float(self.spread) if self.spread is not None else compute_spread(points, seed=generator)
         self.trees_ = [
-            QuadtreeEmbedding(max_levels=self.max_levels, seed=generator).fit(points)
+            QuadtreeEmbedding(max_levels=self.max_levels, seed=generator, spread=spread).fit(points)
             for _ in range(self.n_trees)
         ]
         # Per-tree lookup: tree distance as a function of the deepest shared
-        # level (index ``level + 1`` so level -1 maps to slot 0).
-        level_distances = [
-            np.array(
-                [tree.distance_from_shared_level(level) for level in range(-1, tree.depth)],
-                dtype=np.float64,
-            )
-            for tree in self.trees_
-        ]
+        # level (index ``level + 1`` so level -1 maps to slot 0), precomputed
+        # by the embedding at fit time.
+        level_distances = [tree.level_distance_table_ for tree in self.trees_]
+        level_cell_ids = [tree.level_cell_ids_ for tree in self.trees_]
 
         best_distance = np.full(n, np.inf, dtype=np.float64)
         assignment = np.full(n, -1, dtype=np.int64)
         center_indices = np.empty(self.k, dtype=np.int64)
+        # D²-sampling mass, kept in lockstep with ``best_distance`` (the
+        # invariant mass[i] == weights[i] * best_distance[i] ** z holds after
+        # every ``register_center`` once the first center is placed).
+        mass: Optional[np.ndarray] = None
+        z = self.z
 
         def register_center(center_slot: int, center_point: int) -> None:
             """Shrink per-point distances given the newly selected center.
@@ -126,15 +155,18 @@ class FastKMeansPlusPlus:
             For every tree the levels are scanned from deepest to shallowest;
             the scan stops as soon as the level's implied distance can no
             longer improve any point (it only grows toward the root), which
-            is what keeps the total update work bounded.
+            is what keeps the total update work bounded.  Improved entries
+            have their sampling mass rewritten in place — never the full
+            array — so the per-center cost is proportional to the number of
+            points that actually moved, not to ``n``.
             """
             ceiling = float(best_distance.max())
-            for tree, distances in zip(self.trees_, level_distances):
+            for tree, distances, cell_ids in zip(self.trees_, level_distances, level_cell_ids):
                 for level in range(tree.depth - 1, -1, -1):
                     candidate = distances[level + 1]
                     if candidate >= ceiling and np.isfinite(ceiling):
                         break
-                    members = tree.points_in_cell(level, tree.cell_of(center_point, level))
+                    members = tree.points_in_cell(level, cell_ids[level][center_point])
                     if members.size == 0:
                         continue
                     improved = members[best_distance[members] > candidate]
@@ -142,6 +174,8 @@ class FastKMeansPlusPlus:
                         continue
                     best_distance[improved] = candidate
                     assignment[improved] = center_slot
+                    if mass is not None:
+                        mass[improved] = weights[improved] * candidate**z
             # Points beyond every center's cells at every level fall back to
             # the root distance of the first tree (covers the first center).
             unassigned = assignment < 0
@@ -149,22 +183,20 @@ class FastKMeansPlusPlus:
                 fallback = level_distances[0][0]
                 best_distance[unassigned] = np.minimum(best_distance[unassigned], fallback)
                 assignment[unassigned] = center_slot
+                if mass is not None:
+                    mass[unassigned] = weights[unassigned] * best_distance[unassigned] ** z
 
-        total_weight = weights.sum()
-        if total_weight > 0:
-            first = int(generator.choice(n, p=weights / total_weight))
-        else:
+        first = weighted_index_draw(generator, weights)
+        if first < 0:
             first = int(generator.integers(0, n))
         center_indices[0] = first
         register_center(0, first)
+        mass = weights * best_distance**z
 
         for slot in range(1, self.k):
-            mass = weights * (best_distance**self.z)
-            total = mass.sum()
-            if total <= 0 or not np.isfinite(total):
+            chosen = weighted_index_draw(generator, mass)
+            if chosen < 0:
                 chosen = int(generator.integers(0, n))
-            else:
-                chosen = int(generator.choice(n, p=mass / total))
             center_indices[slot] = chosen
             register_center(slot, chosen)
 
@@ -183,6 +215,7 @@ def fast_kmeans_plus_plus(
     weights: Optional[np.ndarray] = None,
     n_trees: int = 3,
     max_levels: int = 32,
+    spread: Optional[float] = None,
     seed: SeedLike = None,
 ) -> ClusteringSolution:
     """Functional wrapper around :class:`FastKMeansPlusPlus`.
@@ -203,8 +236,13 @@ def fast_kmeans_plus_plus(
         Number of independently shifted quadtrees (minimum distance is used).
     max_levels:
         Quadtree depth cap.
+    spread:
+        Optional precomputed spread estimate shared by all trees (see
+        :class:`FastKMeansPlusPlus`).
     seed:
         Randomness source.
     """
-    solver = FastKMeansPlusPlus(k=k, z=z, n_trees=n_trees, max_levels=max_levels, seed=seed)
+    solver = FastKMeansPlusPlus(
+        k=k, z=z, n_trees=n_trees, max_levels=max_levels, spread=spread, seed=seed
+    )
     return solver.fit(points, weights=weights)

@@ -11,6 +11,17 @@ avoid via the quadtree.
 The bicriteria variant simply draws ``beta * k`` centers, which sharpens the
 approximation factor to a constant in the ``(alpha, beta)`` bicriteria sense
 used by Fact 3.1.
+
+Execution notes
+---------------
+The running minimum squared distance to the selected centers is maintained
+across rounds (:func:`~repro.geometry.distances.update_nearest_with_new_center`
+touches only the newest center), and each D²-draw goes through
+:func:`~repro.utils.rng.weighted_index_draw` — a cumulative sum plus one
+binary search — instead of ``generator.choice`` over a freshly normalised
+length-``n`` probability vector.  The selection law is unchanged; only the
+uniform-stream consumption (and therefore fixed-seed outputs relative to the
+seed revision) differs.
 """
 
 from __future__ import annotations
@@ -21,7 +32,7 @@ import numpy as np
 
 from repro.clustering.cost import ClusteringSolution
 from repro.geometry.distances import update_nearest_with_new_center
-from repro.utils.rng import SeedLike, as_generator
+from repro.utils.rng import SeedLike, as_generator, weighted_index_draw, weighted_index_draws
 from repro.utils.validation import check_integer, check_points, check_power, check_weights
 
 
@@ -78,25 +89,21 @@ def kmeans_plus_plus(
         return ClusteringSolution(centers=centers, assignment=assignment, cost=0.0, z=z)
 
     center_indices = np.empty(k, dtype=np.int64)
-    total_weight = weights.sum()
-    if total_weight > 0:
-        # The first center is drawn proportionally to the input weights, the
-        # weighted analogue of k-means++'s uniform first pick.
-        first = int(generator.choice(n, p=weights / total_weight))
-    else:
+    # The first center is drawn proportionally to the input weights, the
+    # weighted analogue of k-means++'s uniform first pick.
+    first = weighted_index_draw(generator, weights)
+    if first < 0:
         first = int(generator.integers(0, n))
     center_indices[0] = first
     best_squared, assignment = update_nearest_with_new_center(points, points[first], None, None, 0)
 
     for index in range(1, k):
         mass = _sampling_weights(best_squared, weights, z)
-        total = mass.sum()
-        if total <= 0:
+        chosen = weighted_index_draw(generator, mass)
+        if chosen < 0:
             # All remaining points coincide with existing centers; fall back
             # to uniform selection among the points.
             chosen = int(generator.integers(0, n))
-        else:
-            chosen = int(generator.choice(n, p=mass / total))
         center_indices[index] = chosen
         best_squared, assignment = update_nearest_with_new_center(
             points, points[chosen], best_squared, assignment, index
@@ -155,9 +162,7 @@ def dsquared_sample(
 
     squared, _ = squared_point_to_set_distances(points, centers)
     mass = _sampling_weights(squared, weights, z)
-    total = mass.sum()
-    if total <= 0:
+    indices = weighted_index_draws(generator, mass, size)
+    if indices is None:
         indices = generator.choice(points.shape[0], size=size, replace=True)
-    else:
-        indices = generator.choice(points.shape[0], size=size, replace=True, p=mass / total)
-    return indices.astype(np.int64), mass
+    return np.asarray(indices, dtype=np.int64), mass

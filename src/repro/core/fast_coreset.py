@@ -100,8 +100,17 @@ class FastCoreset(CoresetConstruction):
         working_points: np.ndarray,
         weights: np.ndarray,
         generator: np.random.Generator,
+        spread: Optional[float] = None,
     ) -> ClusteringSolution:
-        """Steps 2-3 of Algorithm 1: JL embedding + Fast-kmeans++ seeding."""
+        """Steps 2-3 of Algorithm 1: JL embedding + Fast-kmeans++ seeding.
+
+        ``spread`` is an optional precomputed estimate for the working
+        points; the spread only enters the seeding through the quadtree
+        depth cap ``ceil(log2(spread)) + 2`` and the JL projection preserves
+        pairwise distances up to constants, so reusing the pre-projection
+        estimate (e.g. the spread-reduction diagnostic) spares every tree
+        fit a fresh pairwise-distance subsample.
+        """
         if self.dimension_reduction:
             projected = maybe_reduce_dimension(
                 working_points, self.k, threshold=self.dimension_threshold, seed=generator
@@ -114,6 +123,7 @@ class FastCoreset(CoresetConstruction):
             z=self.z,
             weights=weights,
             max_levels=self.max_levels,
+            spread=spread,
             seed=generator,
         )
 
@@ -148,11 +158,17 @@ class FastCoreset(CoresetConstruction):
         if self.use_spread_reduction:
             reduction = reduce_spread(points, self.k, seed=generator)
             working_points = reduction.points
+            # Reuse the reduction's diagnostic spread of P' instead of
+            # letting the seeding re-estimate it from scratch.
+            working_spread = reduction.reduced_spread
         else:
             reduction = None
             working_points = points
+            working_spread = None
 
-        bicriteria = self._bicriteria_solution(working_points, weights, generator)
+        bicriteria = self._bicriteria_solution(
+            working_points, weights, generator, spread=working_spread
+        )
         assignment = np.asarray(bicriteria.assignment, dtype=np.int64)
         representatives = self._cluster_representatives(
             working_points, weights, assignment, self.k

@@ -84,6 +84,7 @@ def crude_cost_upper_bound(
     points: np.ndarray,
     k: int,
     *,
+    spread: Optional[float] = None,
     seed: SeedLike = None,
 ) -> CrudeApproximation:
     """Algorithm 2: a polynomial-factor upper bound on the optimal k-median cost.
@@ -117,9 +118,12 @@ def crude_cost_upper_bound(
         )
 
     # Dyadic levels: level l uses cells of side diameter * 2^{-l}.  Occupied
-    # cell counts are non-decreasing in l because the grids are nested.
-    spread = compute_spread(points, seed=generator)
-    max_level = max(1, int(math.ceil(math.log2(spread))) + 2)
+    # cell counts are non-decreasing in l because the grids are nested.  A
+    # precomputed spread estimate (e.g. from the caller's earlier diagnostic)
+    # skips the pairwise-distance subsample.
+    if spread is None:
+        spread = compute_spread(points, seed=generator)
+    max_level = max(1, int(math.ceil(math.log2(float(spread)))) + 2)
 
     calls = 0
 
@@ -215,6 +219,7 @@ def reduce_spread(
     k: int,
     *,
     upper_bound: Optional[float] = None,
+    spread: Optional[float] = None,
     seed: SeedLike = None,
 ) -> SpreadReductionResult:
     """Algorithm 3: produce a substitute dataset ``P'`` with polynomial spread.
@@ -227,6 +232,10 @@ def reduce_spread(
         Number of clusters (drives the crude upper bound when none is given).
     upper_bound:
         Optional precomputed ``U``; when ``None`` Algorithm 2 is run first.
+    spread:
+        Optional precomputed spread estimate of ``points``.  When ``None``
+        it is estimated once here and shared with Algorithm 2 (the seed
+        implementation paid the pairwise-distance subsample twice).
     seed:
         Randomness for the grids.
 
@@ -243,10 +252,12 @@ def reduce_spread(
     k = check_integer(k, name="k")
     generator = as_generator(seed)
 
-    original_spread = compute_spread(points, seed=generator)
+    original_spread = float(spread) if spread is not None else compute_spread(points, seed=generator)
 
     if upper_bound is None:
-        upper_bound = crude_cost_upper_bound(points, k, seed=generator).upper_bound
+        upper_bound = crude_cost_upper_bound(
+            points, k, spread=original_spread, seed=generator
+        ).upper_bound
     upper_bound = float(upper_bound)
     if upper_bound <= 0:
         upper_bound = 1e-12

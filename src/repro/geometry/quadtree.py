@@ -16,19 +16,49 @@ The embedding is the workhorse of two components:
 * The crude cost upper bound of Algorithm 2
   (:mod:`repro.core.spread_reduction`) searches for the first tree level at
   which the input occupies at least ``k + 1`` cells.
+
+CSR cell storage
+----------------
+Each level stores its occupied cells in a CSR-style layout instead of a
+``Dict[int, np.ndarray]``: ``level_order_[l]`` holds all point indices sorted
+by their compact level-``l`` cell identifier and ``level_offsets_[l]`` holds
+one offset per cell, so the members of cell ``c`` are the contiguous slice
+``level_order_[l][level_offsets_[l][c]:level_offsets_[l][c + 1]]``.  Building
+the layout costs a single ``argsort`` per level (the seed implementation paid
+a second sort plus a Python loop splitting one array per cell), and
+``points_in_cell`` becomes two-slice arithmetic with no hashing.
+
+Tree distances are served from a precomputed cumulative edge-length table,
+making ``distance_from_shared_level`` an O(1) lookup, and the level-``l + 1``
+lattice is derived from the level-``l`` lattice with one multiply-add per
+coordinate (``lattice * 2 + bit``) instead of re-flooring the full point set
+— all three doublings are exact in IEEE arithmetic, so the cells are
+bit-identical to the seed's per-level ``floor`` computation.
+
+Seed-compatibility policy
+-------------------------
+With ``spread=None`` the fit consumes the random generator in exactly the
+seed order (shift draw, then the spread estimate) and reports identical
+``depth``, ``cell_of`` labels, cell membership, and tree distances as the
+frozen snapshot in :mod:`repro.reference.seed_hotpath`; the golden tests in
+``tests/test_quadtree_golden.py`` pin this down.  Passing a precomputed
+``spread`` skips the per-tree estimate (so multi-tree users pay for it once)
+at the cost of a different — but identically distributed — generator stream.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 import numpy as np
 
 from repro.geometry.grid import hash_rows
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_integer, check_points
+
+_EMPTY_INDICES = np.empty(0, dtype=np.int64)
 
 
 def compute_spread(points: np.ndarray, *, sample_size: int = 2000, seed: SeedLike = 0) -> float:
@@ -76,6 +106,12 @@ class QuadtreeEmbedding:
         early once every occupied cell contains a single point.
     seed:
         Randomness for the shift.
+    spread:
+        Optional precomputed spread estimate (see :func:`compute_spread`).
+        ``None`` estimates it during :meth:`fit`; passing a value lets
+        multi-tree consumers such as
+        :class:`~repro.clustering.fast_kmeans_pp.FastKMeansPlusPlus` share
+        one estimate across all trees instead of recomputing it per fit.
 
     Attributes
     ----------
@@ -85,27 +121,35 @@ class QuadtreeEmbedding:
     level_cell_ids_:
         ``level_cell_ids_[l]`` is a length-``n`` integer array giving the
         compact identifier of the level-``l`` cell containing each point.
-    level_cells_:
-        ``level_cells_[l]`` maps each occupied level-``l`` cell identifier to
-        the indices of the points it contains.
+        Identifiers are consecutive integers ``0 .. occupied_cells(l) - 1``.
+    level_order_ / level_offsets_:
+        CSR cell storage (see the module docstring): point indices sorted by
+        cell identifier plus per-cell offsets into that order.
+    level_distance_table_:
+        ``level_distance_table_[l + 1]`` is the tree distance between two
+        points whose deepest shared cell is at level ``l`` (slot 0 holds the
+        level ``-1`` root-separated distance).
     """
 
     max_levels: int = 32
     seed: SeedLike = None
+    spread: Optional[float] = None
     delta_: float = field(default=0.0, init=False)
     shift_: Optional[np.ndarray] = field(default=None, init=False, repr=False)
     origin_: Optional[np.ndarray] = field(default=None, init=False, repr=False)
     dimension_: int = field(default=0, init=False)
     n_points_: int = field(default=0, init=False)
     level_cell_ids_: List[np.ndarray] = field(default_factory=list, init=False, repr=False)
-    level_cells_: List[Dict[int, np.ndarray]] = field(default_factory=list, init=False, repr=False)
+    level_order_: List[np.ndarray] = field(default_factory=list, init=False, repr=False)
+    level_offsets_: List[np.ndarray] = field(default_factory=list, init=False, repr=False)
+    level_distance_table_: Optional[np.ndarray] = field(default=None, init=False, repr=False)
 
     # ------------------------------------------------------------------ fit
     def fit(self, points: np.ndarray) -> "QuadtreeEmbedding":
-        """Build the level-wise cell decomposition for ``points``."""
+        """Build the level-wise CSR cell decomposition for ``points``."""
         points = check_points(points)
         self.n_points_, self.dimension_ = points.shape
-        check_integer(self.max_levels, name="max_levels")
+        self.max_levels = check_integer(self.max_levels, name="max_levels")
         generator = as_generator(self.seed)
 
         # Translate so an arbitrary input point is the origin, then bound the
@@ -121,34 +165,60 @@ class QuadtreeEmbedding:
         self.shift_ = np.full(self.dimension_, shift_scalar, dtype=np.float64)
         shifted_points = shifted_points + self.shift_[None, :]
 
-        spread = compute_spread(points, seed=generator)
+        if self.spread is not None:
+            spread = float(self.spread)
+        else:
+            spread = compute_spread(points, seed=generator)
         depth_cap = min(self.max_levels, max(1, int(math.ceil(math.log2(spread))) + 2))
 
         self.level_cell_ids_ = []
-        self.level_cells_ = []
+        self.level_order_ = []
+        self.level_offsets_ = []
+
+        # Level-0 lattice: floor(shifted / side_0).  Deeper lattices follow
+        # incrementally: halving the cell side doubles the scaled coordinate,
+        # so lattice_{l+1} = 2 * lattice_l + (frac_l >= 1/2) and
+        # frac_{l+1} = 2 * frac_l - bit.  Scaling by 2 and subtracting the
+        # integer bit are exact in IEEE double precision, so every level's
+        # cells match the seed's independent floor computation bit for bit.
+        scaled = shifted_points / self.cell_side(0)
+        lattice = np.floor(scaled).astype(np.int64)
+        frac = scaled - lattice
         for level in range(depth_cap + 1):
-            side = self.cell_side(level)
-            lattice = np.floor(shifted_points / side).astype(np.int64)
-            _, inverse = np.unique(hash_rows(lattice), return_inverse=True)
-            inverse = inverse.astype(np.int64).reshape(-1)
-            self.level_cell_ids_.append(inverse)
-            self.level_cells_.append(self._group(inverse))
-            if len(self.level_cells_[-1]) >= self.n_points_:
+            if level > 0:
+                bits = frac >= 0.5
+                np.multiply(lattice, 2, out=lattice)
+                lattice += bits
+                np.multiply(frac, 2.0, out=frac)
+                frac -= bits
+            cell_ids, order, offsets = _csr_group(hash_rows(lattice))
+            self.level_cell_ids_.append(cell_ids)
+            self.level_order_.append(order)
+            self.level_offsets_.append(offsets)
+            if offsets.shape[0] - 1 >= self.n_points_:
                 # Every point isolated in its own cell: deeper levels add
                 # nothing to the tree metric.
                 break
+
+        self._build_distance_table()
         return self
 
-    @staticmethod
-    def _group(cell_ids: np.ndarray) -> Dict[int, np.ndarray]:
-        """Group point indices by their compact cell identifier."""
-        order = np.argsort(cell_ids, kind="stable")
-        sorted_ids = cell_ids[order]
-        boundaries = np.flatnonzero(np.diff(sorted_ids)) + 1
-        groups: Dict[int, np.ndarray] = {}
-        for group in np.split(order, boundaries):
-            groups[int(cell_ids[group[0]])] = group
-        return groups
+    def _build_distance_table(self) -> None:
+        """Precompute ``distance_from_shared_level`` for every level.
+
+        Slot ``l + 1`` holds the distance for shared level ``l``.  Each entry
+        accumulates the per-level edge lengths in the same (shallow-to-deep)
+        order as the seed implementation so the table is bit-identical to the
+        seed's on-demand Python sums.
+        """
+        depth = self.depth
+        table = np.zeros(depth + 1, dtype=np.float64)
+        for level in range(-1, depth - 1):
+            total = 0.0
+            for below in range(level + 1, depth):
+                total += self.edge_length(below)
+            table[level + 1] = 2.0 * total
+        self.level_distance_table_ = table
 
     # ------------------------------------------------------------- geometry
     @property
@@ -168,15 +238,13 @@ class QuadtreeEmbedding:
         """Tree distance between two points whose deepest common cell is at ``level``.
 
         The path climbs from the leaves up to the shared cell and back down,
-        so the distance is twice the sum of edge lengths below ``level``.
-        When the two points share a leaf cell the tree distance is zero.
+        so the distance is twice the sum of edge lengths below ``level`` —
+        served as an O(1) lookup into :attr:`level_distance_table_`.  When
+        the two points share a leaf cell the tree distance is zero.
         """
         if level >= self.depth - 1:
             return 0.0
-        total = 0.0
-        for below in range(level + 1, self.depth):
-            total += self.edge_length(below)
-        return 2.0 * total
+        return float(self.level_distance_table_[max(level, -1) + 1])
 
     def deepest_shared_level(self, first: int, second: int) -> int:
         """Deepest level at which points ``first`` and ``second`` share a cell.
@@ -206,9 +274,41 @@ class QuadtreeEmbedding:
         return int(self.level_cell_ids_[level][point_index])
 
     def points_in_cell(self, level: int, cell_id: int) -> np.ndarray:
-        """Indices of the points contained in a given cell (empty if unused)."""
-        return self.level_cells_[level].get(cell_id, np.empty(0, dtype=np.int64))
+        """Indices of the points contained in a given cell (empty if unused).
+
+        With the CSR layout this is two offset lookups and one slice; the
+        returned array is a view into the level's sorted point order.
+        """
+        offsets = self.level_offsets_[level]
+        if cell_id < 0 or cell_id >= offsets.shape[0] - 1:
+            return _EMPTY_INDICES
+        return self.level_order_[level][offsets[cell_id] : offsets[cell_id + 1]]
 
     def occupied_cells(self, level: int) -> int:
         """Number of distinct non-empty cells at ``level``."""
-        return len(self.level_cells_[level])
+        return self.level_offsets_[level].shape[0] - 1
+
+
+def _csr_group(keys: np.ndarray) -> tuple:
+    """Group points by hash key with one sort: (compact ids, order, offsets).
+
+    ``order`` lists the point indices sorted by compact cell identifier
+    (stable, so members stay in ascending input order within a cell) and
+    ``offsets[c]:offsets[c + 1]`` delimits the members of cell ``c`` inside
+    it.  Identifiers rank the distinct keys in ascending (unsigned) order —
+    the same labelling ``np.unique(..., return_inverse=True)`` produced in
+    the seed implementation, at half the sorting cost and without the
+    per-cell Python splitting loop.
+    """
+    n = keys.shape[0]
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    starts = np.empty(n, dtype=bool)
+    starts[0] = True
+    np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=starts[1:])
+    ids_in_order = np.cumsum(starts, dtype=np.int64) - 1
+    cell_ids = np.empty(n, dtype=np.int64)
+    cell_ids[order] = ids_in_order
+    offsets = np.flatnonzero(starts)
+    offsets = np.concatenate([offsets, [n]]).astype(np.int64)
+    return cell_ids, order, offsets

@@ -1,0 +1,19 @@
+"""Frozen reference implementations used for equivalence testing and benchmarking.
+
+The modules in this package are verbatim snapshots of hot-path code as it
+stood in the seed revision of the repository.  They are **not** maintained
+for speed and must not be used by library code: their sole purpose is to
+
+* serve as the golden baseline for the equivalence tests (the optimized
+  quadtree must report the same cells and tree distances as the seed), and
+* provide the "seed" timing column of ``benchmarks/bench_perf_hotpaths.py``
+  so every benchmark run measures seed-vs-optimized in the same process on
+  the same hardware.
+
+Do not modify these snapshots when optimizing the live implementations —
+that would silently move the goalposts of both the tests and the benchmark.
+"""
+
+from repro.reference.seed_hotpath import SeedQuadtreeEmbedding, seed_fast_kmeans_plus_plus
+
+__all__ = ["SeedQuadtreeEmbedding", "seed_fast_kmeans_plus_plus"]

@@ -1,0 +1,216 @@
+"""Seed-revision snapshots of the quadtree and Fast-kmeans++ hot paths.
+
+These classes reproduce, line for line, the behaviour of
+:class:`repro.geometry.quadtree.QuadtreeEmbedding` and
+:class:`repro.clustering.fast_kmeans_pp.FastKMeansPlusPlus` as of the seed
+commit: dict-of-arrays cell storage built by a Python grouping loop,
+``O(depth)`` tree-distance sums, a spread estimate recomputed inside every
+tree fit, and ``generator.choice`` D²-sampling draws over a freshly
+recomputed probability vector per center.
+
+They consume the random generator in exactly the same order as the seed
+code, so fitting a :class:`SeedQuadtreeEmbedding` and the optimized
+:class:`~repro.geometry.quadtree.QuadtreeEmbedding` with the same integer
+seed must produce identical trees — the golden equivalence tests in
+``tests/test_quadtree_golden.py`` assert precisely that.  See the package
+docstring for the freeze policy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.clustering.cost import ClusteringSolution, cost_to_assigned_centers
+from repro.geometry.grid import hash_rows
+from repro.geometry.quadtree import compute_spread
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_integer, check_points, check_power, check_weights
+
+
+@dataclass
+class SeedQuadtreeEmbedding:
+    """Seed-revision quadtree: dict-of-arrays cells, per-call distance sums."""
+
+    max_levels: int = 32
+    seed: SeedLike = None
+    delta_: float = field(default=0.0, init=False)
+    shift_: Optional[np.ndarray] = field(default=None, init=False, repr=False)
+    origin_: Optional[np.ndarray] = field(default=None, init=False, repr=False)
+    dimension_: int = field(default=0, init=False)
+    n_points_: int = field(default=0, init=False)
+    level_cell_ids_: List[np.ndarray] = field(default_factory=list, init=False, repr=False)
+    level_cells_: List[Dict[int, np.ndarray]] = field(default_factory=list, init=False, repr=False)
+
+    # ------------------------------------------------------------------ fit
+    def fit(self, points: np.ndarray) -> "SeedQuadtreeEmbedding":
+        points = check_points(points)
+        self.n_points_, self.dimension_ = points.shape
+        check_integer(self.max_levels, name="max_levels")
+        generator = as_generator(self.seed)
+
+        self.origin_ = points[0].copy()
+        shifted_points = points - self.origin_[None, :]
+        norms = np.sqrt(np.einsum("ij,ij->i", shifted_points, shifted_points))
+        self.delta_ = float(norms.max())
+        if self.delta_ <= 0:
+            self.delta_ = 1.0
+        shift_scalar = float(generator.uniform(0.0, self.delta_))
+        self.shift_ = np.full(self.dimension_, shift_scalar, dtype=np.float64)
+        shifted_points = shifted_points + self.shift_[None, :]
+
+        spread = compute_spread(points, seed=generator)
+        depth_cap = min(self.max_levels, max(1, int(math.ceil(math.log2(spread))) + 2))
+
+        self.level_cell_ids_ = []
+        self.level_cells_ = []
+        for level in range(depth_cap + 1):
+            side = self.cell_side(level)
+            lattice = np.floor(shifted_points / side).astype(np.int64)
+            _, inverse = np.unique(hash_rows(lattice), return_inverse=True)
+            inverse = inverse.astype(np.int64).reshape(-1)
+            self.level_cell_ids_.append(inverse)
+            self.level_cells_.append(self._group(inverse))
+            if len(self.level_cells_[-1]) >= self.n_points_:
+                break
+        return self
+
+    @staticmethod
+    def _group(cell_ids: np.ndarray) -> Dict[int, np.ndarray]:
+        order = np.argsort(cell_ids, kind="stable")
+        sorted_ids = cell_ids[order]
+        boundaries = np.flatnonzero(np.diff(sorted_ids)) + 1
+        groups: Dict[int, np.ndarray] = {}
+        for group in np.split(order, boundaries):
+            groups[int(cell_ids[group[0]])] = group
+        return groups
+
+    # ------------------------------------------------------------- geometry
+    @property
+    def depth(self) -> int:
+        return len(self.level_cell_ids_)
+
+    def cell_side(self, level: int) -> float:
+        return (2.0 * self.delta_) * (2.0 ** (-level))
+
+    def edge_length(self, level: int) -> float:
+        return math.sqrt(self.dimension_) * self.cell_side(level)
+
+    def distance_from_shared_level(self, level: int) -> float:
+        if level >= self.depth - 1:
+            return 0.0
+        total = 0.0
+        for below in range(level + 1, self.depth):
+            total += self.edge_length(below)
+        return 2.0 * total
+
+    def deepest_shared_level(self, first: int, second: int) -> int:
+        shared = -1
+        for level in range(self.depth):
+            if self.level_cell_ids_[level][first] == self.level_cell_ids_[level][second]:
+                shared = level
+            else:
+                break
+        return shared
+
+    def tree_distance(self, first: int, second: int) -> float:
+        if first == second:
+            return 0.0
+        return self.distance_from_shared_level(self.deepest_shared_level(first, second))
+
+    # --------------------------------------------------------------- lookup
+    def cell_of(self, point_index: int, level: int) -> int:
+        return int(self.level_cell_ids_[level][point_index])
+
+    def points_in_cell(self, level: int, cell_id: int) -> np.ndarray:
+        return self.level_cells_[level].get(cell_id, np.empty(0, dtype=np.int64))
+
+    def occupied_cells(self, level: int) -> int:
+        return len(self.level_cells_[level])
+
+
+def seed_fast_kmeans_plus_plus(
+    points: np.ndarray,
+    k: int,
+    *,
+    z: int = 2,
+    weights: Optional[np.ndarray] = None,
+    n_trees: int = 3,
+    max_levels: int = 32,
+    seed: SeedLike = None,
+) -> ClusteringSolution:
+    """Seed-revision Fast-kmeans++: per-center mass recompute + ``choice`` draws."""
+    points = check_points(points)
+    n = points.shape[0]
+    k = check_integer(k, name="k")
+    z = check_power(z)
+    check_integer(n_trees, name="n_trees")
+    weights = check_weights(weights, n)
+    generator = as_generator(seed)
+
+    if k >= n:
+        centers = points.copy()
+        assignment = np.arange(n, dtype=np.int64)
+        return ClusteringSolution(centers=centers, assignment=assignment, cost=0.0, z=z)
+
+    trees = [
+        SeedQuadtreeEmbedding(max_levels=max_levels, seed=generator).fit(points)
+        for _ in range(n_trees)
+    ]
+    level_distances = [
+        np.array(
+            [tree.distance_from_shared_level(level) for level in range(-1, tree.depth)],
+            dtype=np.float64,
+        )
+        for tree in trees
+    ]
+
+    best_distance = np.full(n, np.inf, dtype=np.float64)
+    assignment = np.full(n, -1, dtype=np.int64)
+    center_indices = np.empty(k, dtype=np.int64)
+
+    def register_center(center_slot: int, center_point: int) -> None:
+        ceiling = float(best_distance.max())
+        for tree, distances in zip(trees, level_distances):
+            for level in range(tree.depth - 1, -1, -1):
+                candidate = distances[level + 1]
+                if candidate >= ceiling and np.isfinite(ceiling):
+                    break
+                members = tree.points_in_cell(level, tree.cell_of(center_point, level))
+                if members.size == 0:
+                    continue
+                improved = members[best_distance[members] > candidate]
+                if improved.size == 0:
+                    continue
+                best_distance[improved] = candidate
+                assignment[improved] = center_slot
+        unassigned = assignment < 0
+        if np.any(unassigned):
+            fallback = level_distances[0][0]
+            best_distance[unassigned] = np.minimum(best_distance[unassigned], fallback)
+            assignment[unassigned] = center_slot
+
+    total_weight = weights.sum()
+    if total_weight > 0:
+        first = int(generator.choice(n, p=weights / total_weight))
+    else:
+        first = int(generator.integers(0, n))
+    center_indices[0] = first
+    register_center(0, first)
+
+    for slot in range(1, k):
+        mass = weights * (best_distance**z)
+        total = mass.sum()
+        if total <= 0 or not np.isfinite(total):
+            chosen = int(generator.integers(0, n))
+        else:
+            chosen = int(generator.choice(n, p=mass / total))
+        center_indices[slot] = chosen
+        register_center(slot, chosen)
+
+    centers = points[center_indices]
+    euclidean_cost = cost_to_assigned_centers(points, centers, assignment, weights=weights, z=z)
+    return ClusteringSolution(centers=centers, assignment=assignment, cost=euclidean_cost, z=z)

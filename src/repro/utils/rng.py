@@ -69,6 +69,53 @@ def random_seed_from(generator: np.random.Generator) -> int:
     return int(generator.integers(0, 2**63 - 1))
 
 
+def weighted_index_draw(generator: np.random.Generator, mass: np.ndarray) -> int:
+    """Draw one index with probability proportional to ``mass`` via searchsorted.
+
+    This is the allocation-lean replacement for
+    ``generator.choice(n, p=mass / mass.sum())`` used by the D²-sampling hot
+    loops: one cumulative sum, one uniform variate, and one binary search —
+    no normalised probability vector is materialised and no validation pass
+    over ``p`` is paid per draw.  The selected index ``i`` satisfies
+    ``cumulative[i - 1] <= u < cumulative[i]``, so zero-mass entries are
+    never drawn and ``Pr[i] = mass[i] / total`` exactly (up to float
+    rounding), matching ``generator.choice`` in distribution (the underlying
+    uniform stream is consumed differently, so fixed-seed draws differ).
+
+    Returns ``-1`` when the total mass is non-positive or non-finite; the
+    caller chooses its own fallback (typically a uniform draw).
+    """
+    mass = np.asarray(mass, dtype=np.float64)
+    if mass.size == 0:
+        return -1
+    cumulative = np.cumsum(mass)
+    total = float(cumulative[-1])
+    if not np.isfinite(total) or total <= 0.0:
+        return -1
+    index = int(np.searchsorted(cumulative, generator.random() * total, side="right"))
+    return min(index, mass.size - 1)
+
+
+def weighted_index_draws(
+    generator: np.random.Generator, mass: np.ndarray, size: int
+) -> Optional[np.ndarray]:
+    """Draw ``size`` indices with replacement, proportional to ``mass``.
+
+    Batch variant of :func:`weighted_index_draw` (one cumulative sum shared
+    by all draws).  Returns ``None`` when the total mass is non-positive or
+    non-finite.
+    """
+    mass = np.asarray(mass, dtype=np.float64)
+    if mass.size == 0:
+        return None
+    cumulative = np.cumsum(mass)
+    total = float(cumulative[-1])
+    if not np.isfinite(total) or total <= 0.0:
+        return None
+    draws = np.searchsorted(cumulative, generator.random(size) * total, side="right")
+    return np.minimum(draws, mass.size - 1).astype(np.int64)
+
+
 def permutation(generator: np.random.Generator, n: int) -> np.ndarray:
     """Return a random permutation of ``range(n)`` as an int64 array."""
     return generator.permutation(n).astype(np.int64)

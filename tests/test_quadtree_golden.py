@@ -1,0 +1,151 @@
+"""Golden equivalence tests: CSR quadtree vs the frozen seed implementation.
+
+The optimized :class:`repro.geometry.quadtree.QuadtreeEmbedding` (CSR cell
+storage, incremental lattice, precomputed distance table) must be
+*observationally identical* to the seed revision under a fixed seed: same
+depth, same compact ``cell_of`` labels, same ``points_in_cell`` membership
+(including order), and bit-identical tree distances.  The seed behaviour is
+pinned by the frozen snapshot in :mod:`repro.reference.seed_hotpath`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry.quadtree import QuadtreeEmbedding
+from repro.reference.seed_hotpath import SeedQuadtreeEmbedding
+
+
+def _dataset(case: str, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    if case == "gaussian":
+        return rng.normal(size=(500, 6)) * 10.0
+    if case == "high_spread":
+        near = rng.normal(size=(200, 3))
+        far = rng.normal(size=(200, 3)) * 1e5 + 1e6
+        return np.concatenate([near, far])
+    if case == "duplicates":
+        base = rng.normal(size=(60, 4))
+        return np.concatenate([base, base[:30], np.zeros((10, 4))])
+    if case == "low_dim":
+        return rng.uniform(-3.0, 3.0, size=(400, 1))
+    raise AssertionError(case)
+
+
+CASES = [
+    ("gaussian", 0),
+    ("gaussian", 7),
+    ("high_spread", 1),
+    ("duplicates", 2),
+    ("low_dim", 3),
+]
+
+
+@pytest.fixture(scope="module", params=CASES, ids=[f"{c}-{s}" for c, s in CASES])
+def pair(request):
+    case, seed = request.param
+    points = _dataset(case, seed)
+    optimized = QuadtreeEmbedding(seed=seed).fit(points)
+    reference = SeedQuadtreeEmbedding(seed=seed).fit(points)
+    return points, optimized, reference
+
+
+class TestGoldenEquivalence:
+    def test_identical_depth_and_geometry(self, pair):
+        _, optimized, reference = pair
+        assert optimized.depth == reference.depth
+        assert optimized.delta_ == reference.delta_
+        np.testing.assert_array_equal(optimized.shift_, reference.shift_)
+
+    def test_identical_cell_of_labels(self, pair):
+        _, optimized, reference = pair
+        for level in range(reference.depth):
+            np.testing.assert_array_equal(
+                optimized.level_cell_ids_[level], reference.level_cell_ids_[level]
+            )
+
+    def test_identical_occupied_cell_counts(self, pair):
+        _, optimized, reference = pair
+        for level in range(reference.depth):
+            assert optimized.occupied_cells(level) == reference.occupied_cells(level)
+
+    def test_identical_points_in_cell_membership(self, pair):
+        _, optimized, reference = pair
+        for level in range(reference.depth):
+            for cell_id in range(reference.occupied_cells(level)):
+                np.testing.assert_array_equal(
+                    optimized.points_in_cell(level, cell_id),
+                    reference.points_in_cell(level, cell_id),
+                )
+            # Unused identifiers report empty membership on both sides.
+            assert optimized.points_in_cell(level, 10**9).size == 0
+            assert reference.points_in_cell(level, 10**9).size == 0
+
+    def test_identical_tree_distances(self, pair):
+        points, optimized, reference = pair
+        n = points.shape[0]
+        rng = np.random.default_rng(99)
+        pairs = rng.integers(0, n, size=(400, 2))
+        for i, j in pairs:
+            i, j = int(i), int(j)
+            assert optimized.deepest_shared_level(i, j) == reference.deepest_shared_level(i, j)
+            # Bit-identical, not approximately equal: the distance table is
+            # accumulated in the seed's summation order.
+            assert optimized.tree_distance(i, j) == reference.tree_distance(i, j)
+
+    def test_distance_table_matches_seed_sums(self, pair):
+        _, optimized, reference = pair
+        for level in range(-1, reference.depth):
+            assert optimized.distance_from_shared_level(level) == reference.distance_from_shared_level(level)
+
+
+class TestLemma22Invariant:
+    """Property test: tree distances dominate Euclidean distances (Lemma 2.2)."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_tree_distance_dominates_euclidean(self, seed):
+        rng = np.random.default_rng(seed)
+        points = rng.normal(size=(300, 5)) * rng.uniform(0.1, 100.0)
+        tree = QuadtreeEmbedding(seed=seed).fit(points)
+        pairs = rng.integers(0, points.shape[0], size=(300, 2))
+        for i, j in pairs:
+            if i == j:
+                continue
+            euclidean = float(np.linalg.norm(points[i] - points[j]))
+            assert tree.tree_distance(int(i), int(j)) >= euclidean - 1e-9 * max(1.0, euclidean)
+
+    def test_holds_with_precomputed_spread(self):
+        # The shared-spread path skips the per-tree estimate but must keep
+        # the metric dominance intact.
+        rng = np.random.default_rng(11)
+        points = rng.normal(size=(250, 4)) * 50.0
+        from repro.geometry.quadtree import compute_spread
+
+        spread = compute_spread(points, seed=0)
+        tree = QuadtreeEmbedding(seed=1, spread=spread).fit(points)
+        for _ in range(200):
+            i, j = rng.integers(0, points.shape[0], size=2)
+            if i == j:
+                continue
+            euclidean = float(np.linalg.norm(points[i] - points[j]))
+            assert tree.tree_distance(int(i), int(j)) >= euclidean - 1e-9 * max(1.0, euclidean)
+
+
+class TestSharedSpreadStructure:
+    def test_precomputed_spread_matches_unshared_partitions(self):
+        # Passing the same spread value the fit would have computed produces
+        # the same depth cap; only the generator stream differs (the shift is
+        # drawn first, so with an identical scalar shift the cells coincide).
+        rng = np.random.default_rng(4)
+        points = rng.normal(size=(300, 3)) * 10.0
+        baseline = QuadtreeEmbedding(seed=5).fit(points)
+        from repro.geometry.quadtree import compute_spread
+
+        generator = np.random.default_rng(5)
+        generator.uniform(0.0, baseline.delta_)  # replay the shift draw
+        spread = compute_spread(points, seed=generator)
+        shared = QuadtreeEmbedding(seed=5, spread=spread).fit(points)
+        assert shared.depth == baseline.depth
+        for level in range(baseline.depth):
+            np.testing.assert_array_equal(
+                shared.level_cell_ids_[level], baseline.level_cell_ids_[level]
+            )

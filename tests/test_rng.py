@@ -9,6 +9,8 @@ from repro.utils.rng import (
     random_seed_from,
     sample_without_replacement,
     spawn_generators,
+    weighted_index_draw,
+    weighted_index_draws,
 )
 
 
@@ -98,3 +100,58 @@ class TestSamplingHelpers:
             sample_without_replacement(
                 np.random.default_rng(0), 5, 2, probabilities=np.zeros(5)
             )
+
+
+class TestWeightedIndexDraw:
+    def test_matches_probabilities(self):
+        generator = np.random.default_rng(0)
+        mass = np.array([1.0, 3.0, 0.0, 6.0])
+        counts = np.zeros(4)
+        for _ in range(20_000):
+            counts[weighted_index_draw(generator, mass)] += 1
+        empirical = counts / counts.sum()
+        expected = mass / mass.sum()
+        np.testing.assert_allclose(empirical, expected, atol=0.02)
+
+    def test_zero_mass_entries_never_drawn(self):
+        generator = np.random.default_rng(1)
+        mass = np.array([0.0, 1.0, 0.0, 0.0, 2.0, 0.0])
+        for _ in range(2_000):
+            assert weighted_index_draw(generator, mass) in (1, 4)
+
+    def test_degenerate_total_returns_sentinel(self):
+        generator = np.random.default_rng(2)
+        assert weighted_index_draw(generator, np.zeros(5)) == -1
+        assert weighted_index_draw(generator, np.array([])) == -1
+        assert weighted_index_draw(generator, np.array([np.inf, 1.0])) == -1
+
+    def test_single_positive_entry(self):
+        generator = np.random.default_rng(3)
+        assert weighted_index_draw(generator, np.array([0.0, 0.0, 5.0])) == 2
+
+    def test_reproducible_with_same_seed(self):
+        mass = np.arange(1.0, 11.0)
+        draws_a = [weighted_index_draw(np.random.default_rng(7), mass) for _ in range(1)]
+        draws_b = [weighted_index_draw(np.random.default_rng(7), mass) for _ in range(1)]
+        assert draws_a == draws_b
+
+
+class TestWeightedIndexDraws:
+    def test_batch_matches_probabilities(self):
+        generator = np.random.default_rng(0)
+        mass = np.array([2.0, 0.0, 2.0, 4.0])
+        draws = weighted_index_draws(generator, mass, 20_000)
+        counts = np.bincount(draws, minlength=4)
+        np.testing.assert_allclose(counts / counts.sum(), mass / mass.sum(), atol=0.02)
+        assert counts[1] == 0
+
+    def test_degenerate_total_returns_none(self):
+        generator = np.random.default_rng(1)
+        assert weighted_index_draws(generator, np.zeros(3), 5) is None
+        assert weighted_index_draws(generator, np.array([]), 5) is None
+
+    def test_returns_int64(self):
+        generator = np.random.default_rng(2)
+        draws = weighted_index_draws(generator, np.ones(4), 10)
+        assert draws.dtype == np.int64
+        assert draws.shape == (10,)
