@@ -1,10 +1,13 @@
-# Developer entry points.  `make test` is the tier-1 gate; `make bench`
-# refreshes the hot-path perf trajectory and fails (without overwriting
-# BENCH_hotpaths.json) when any tracked workload regressed by more than 20%.
+# Developer entry points.  `make test` is the tier-1 gate (includes the
+# slow-marked bench-check smoke); `make bench` refreshes the hot-path perf
+# trajectory and fails (without overwriting BENCH_hotpaths.json) when any
+# tracked workload regressed by more than 20%; `make bench-check` replays
+# the tracked workloads at reduced repeats and fails on the same >20%
+# regression guard without ever rewriting the JSON.
 
 PYTHON ?= python
 
-.PHONY: test test-fast bench
+.PHONY: test test-fast bench bench-check
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -14,3 +17,6 @@ test-fast:
 
 bench:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_perf_hotpaths.py --check-regression
+
+bench-check:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_perf_hotpaths.py --check-only --repeats 1

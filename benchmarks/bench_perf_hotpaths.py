@@ -1,13 +1,15 @@
-"""Perf-regression harness for the quadtree / Fast-kmeans++ hot path.
+"""Perf-regression harness for the library's tracked hot paths.
 
-Times the *frozen seed implementation* (:mod:`repro.reference.seed_hotpath`)
-against the optimized live implementation **in the same run**, on the same
+Times the *frozen reference implementations* (:mod:`repro.reference`)
+against the optimized live implementations **in the same run**, on the same
 synthetic workloads and hardware, and writes a machine-readable
 ``BENCH_hotpaths.json`` at the repository root.  Every future perf PR is
 judged against that trajectory: ``make bench`` re-runs this script with
 ``--check-regression``, which refuses to overwrite the JSON when the
 optimized time of any tracked workload regresses by more than
-``REGRESSION_TOLERANCE`` (20%).
+``REGRESSION_TOLERANCE`` (20%), and ``make bench-check`` replays the
+tracked workloads at reduced repeats without touching the JSON at all
+(``--check-only``).
 
 Measured components per ``(n, d, k)`` workload:
 
@@ -16,11 +18,21 @@ Measured components per ``(n, d, k)`` workload:
 * ``fast_kmeans_pp`` — the full multi-tree seeding (shared spread,
   incremental D²-mass, searchsorted draws vs per-center recompute +
   ``generator.choice``).
+* ``lloyd`` — a fixed-iteration Lloyd refinement (Hamerly-bounded pruning +
+  warm-started assignments vs the frozen full-recompute loop; the two are
+  bit-identical, so the comparison times pure pruning).
+* ``merge_reduce`` — a full merge-&-reduce stream with a Fast-Coreset
+  sampler (shared cached spread vs the frozen two-estimates-per-compression
+  baseline).
+* ``merge_reduce_streamkm`` — one StreamKM++ coreset-tree reduction
+  (batched envelope draws + incremental assignment vs sequential seeding +
+  a second full distance block).
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_perf_hotpaths.py [--full]
-        [--repeats R] [--check-regression] [--output PATH]
+        [--repeats R] [--check-regression] [--check-only]
+        [--workloads NAME [NAME ...]] [--output PATH]
 
 The quick (tracked) suite runs by default; ``--full`` adds larger sweeps.
 """
@@ -37,15 +49,34 @@ from pathlib import Path
 import numpy as np
 
 from repro.clustering.fast_kmeans_pp import fast_kmeans_plus_plus
+from repro.clustering.lloyd import kmeans
+from repro.core.fast_coreset import FastCoreset
 from repro.data.synthetic import gaussian_mixture
 from repro.geometry.quadtree import QuadtreeEmbedding
+from repro.reference.naive_lloyd import naive_kmeans
 from repro.reference.seed_hotpath import SeedQuadtreeEmbedding, seed_fast_kmeans_plus_plus
+from repro.reference.seed_streaming import (
+    seed_compute_spread,
+    seed_stream_coreset,
+    seed_streamkm_reduce,
+)
+from repro.streaming.merge_reduce import stream_dataset
+from repro.streaming.streamkm import StreamKMPlusPlus
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_hotpaths.json"
 
 #: Refuse to record a run where any tracked workload got this much slower.
 REGRESSION_TOLERANCE = 0.20
+
+#: Lloyd workloads run up to this many iterations with tolerance 0 (the
+#: library's default ``max_iterations``) so both engines do an identical —
+#: and realistically long — amount of refinement work.
+LLOYD_ITERATIONS = 50
+
+#: Streaming workloads: block count of the merge-&-reduce tree and target
+#: size (the paper's ``m = 40k`` default).
+STREAM_BLOCKS = 16
 
 #: (name, n, d, k, component).  The ``quick`` suite is the tracked set every
 #: PR must hold; ``--full`` adds larger sweeps for local investigation.
@@ -55,10 +86,16 @@ QUICK_WORKLOADS = [
     ("fast_kmeans_pp_n20k_d20_k64", 20_000, 20, 64, "fast_kmeans_pp"),
     ("quadtree_fit_n50k_d10", 50_000, 10, 0, "quadtree_fit"),
     ("quadtree_fit_n20k_d20", 20_000, 20, 0, "quadtree_fit"),
+    ("lloyd_n20k_d10_k50", 20_000, 10, 50, "lloyd"),
+    ("lloyd_n20k_d10_k100", 20_000, 10, 100, "lloyd"),
+    ("merge_reduce_n40k_d10_k10", 40_000, 10, 10, "merge_reduce"),
+    ("merge_reduce_streamkm_n20k_d10_m400", 20_000, 10, 400, "merge_reduce_streamkm"),
 ]
 FULL_EXTRA = [
     ("fast_kmeans_pp_n100k_d10_k200", 100_000, 10, 200, "fast_kmeans_pp"),
     ("quadtree_fit_n100k_d10", 100_000, 10, 0, "quadtree_fit"),
+    ("lloyd_n50k_d10_k100", 50_000, 10, 100, "lloyd"),
+    ("merge_reduce_n100k_d10_k20", 100_000, 10, 20, "merge_reduce"),
 ]
 
 
@@ -80,10 +117,61 @@ def run_workload(name: str, n: int, d: int, k: int, component: str, repeats: int
     points = _workload_points(n, d)
     if component == "fast_kmeans_pp":
         optimized = _best_of(lambda: fast_kmeans_plus_plus(points, k, seed=0), repeats)
-        seed_time = _best_of(lambda: seed_fast_kmeans_plus_plus(points, k, seed=0), repeats)
+        seed_time = _best_of(
+            lambda: seed_fast_kmeans_plus_plus(
+                points, k, seed=0, spread_function=seed_compute_spread
+            ),
+            repeats,
+        )
     elif component == "quadtree_fit":
         optimized = _best_of(lambda: QuadtreeEmbedding(seed=0).fit(points), repeats)
-        seed_time = _best_of(lambda: SeedQuadtreeEmbedding(seed=0).fit(points), repeats)
+        seed_time = _best_of(
+            lambda: SeedQuadtreeEmbedding(
+                seed=0, spread_function=seed_compute_spread
+            ).fit(points),
+            repeats,
+        )
+    elif component == "lloyd":
+        initial = points[np.random.default_rng(5).choice(n, size=k, replace=False)]
+        optimized = _best_of(
+            lambda: kmeans(
+                points,
+                k,
+                initial_centers=initial,
+                max_iterations=LLOYD_ITERATIONS,
+                tolerance=0.0,
+                seed=0,
+            ),
+            repeats,
+        )
+        seed_time = _best_of(
+            lambda: naive_kmeans(
+                points,
+                k,
+                initial_centers=initial,
+                max_iterations=LLOYD_ITERATIONS,
+                tolerance=0.0,
+                seed=0,
+            ),
+            repeats,
+        )
+    elif component == "merge_reduce":
+        m = 40 * k
+        sampler = FastCoreset(k=k, seed=0)
+        optimized = _best_of(
+            lambda: stream_dataset(points, sampler, m, n_blocks=STREAM_BLOCKS, seed=1),
+            repeats,
+        )
+        seed_time = _best_of(
+            lambda: seed_stream_coreset(points, sampler, m, n_blocks=STREAM_BLOCKS, seed=1),
+            repeats,
+        )
+    elif component == "merge_reduce_streamkm":
+        m = k  # the k column doubles as the representative count
+        weights = np.ones(n, dtype=np.float64)
+        sampler = StreamKMPlusPlus(coreset_size=m, seed=0)
+        optimized = _best_of(lambda: sampler.sample(points, m, seed=2), repeats)
+        seed_time = _best_of(lambda: seed_streamkm_reduce(points, weights, m, seed=2), repeats)
     else:
         raise ValueError(f"unknown component {component!r}")
     return {
@@ -133,10 +221,28 @@ def main(argv=None) -> int:
         action="store_true",
         help="refuse to overwrite the JSON when a tracked workload regressed >20%%",
     )
+    parser.add_argument(
+        "--check-only",
+        action="store_true",
+        help="compare against the recorded JSON and exit non-zero on regression "
+        "WITHOUT rewriting it (the `make bench-check` smoke)",
+    )
+    parser.add_argument(
+        "--workloads",
+        nargs="+",
+        metavar="NAME",
+        help="restrict the run to the named workloads (default: all tracked)",
+    )
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
     args = parser.parse_args(argv)
 
     workloads = QUICK_WORKLOADS + (FULL_EXTRA if args.full else [])
+    if args.workloads:
+        by_name = {w[0]: w for w in QUICK_WORKLOADS + FULL_EXTRA}
+        unknown = [name for name in args.workloads if name not in by_name]
+        if unknown:
+            parser.error(f"unknown workloads: {', '.join(unknown)}")
+        workloads = [by_name[name] for name in args.workloads]
     results = []
     for name, n, d, k, component in workloads:
         result = run_workload(name, n, d, k, component, args.repeats)
@@ -157,14 +263,31 @@ def main(argv=None) -> int:
         "workloads": results,
     }
 
-    if args.output.exists() and args.check_regression:
-        previous = json.loads(args.output.read_text())
+    previous = json.loads(args.output.read_text()) if args.output.exists() else None
+
+    if args.check_only and previous is None:
+        print(f"check-only: no recorded baseline at {args.output}", file=sys.stderr)
+        return 1
+
+    if previous is not None and (args.check_regression or args.check_only):
         messages = check_regression(previous, results)
         if messages:
-            print("\nREGRESSION — refusing to overwrite", args.output, file=sys.stderr)
+            print("\nREGRESSION — tracked ratios degraded beyond tolerance", file=sys.stderr)
             for message in messages:
                 print("  *", message, file=sys.stderr)
             return 1
+
+    if args.check_only:
+        print(f"\ncheck-only: tracked workloads within tolerance of {args.output}")
+        return 0
+
+    if previous is not None and args.workloads:
+        # A partial (--workloads) run only refreshes the rows it re-timed;
+        # every other tracked baseline row is carried forward so the
+        # regression guards keep their comparison basis.
+        rerun = {w["name"] for w in results}
+        carried = [w for w in previous.get("workloads", []) if w["name"] not in rerun]
+        payload["workloads"] = carried + results
 
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"\nwrote {args.output}")

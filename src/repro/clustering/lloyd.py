@@ -1,4 +1,4 @@
-"""Weighted Lloyd's algorithm for k-means.
+"""Weighted Lloyd's algorithm for k-means, with a bounds-pruned engine.
 
 Lloyd's algorithm [49] alternates between assigning every point to its
 nearest center and moving every center to the (weighted) mean of its
@@ -6,20 +6,70 @@ assigned points.  The paper uses it as the *downstream* clustering task: the
 quality of a compression is judged by running k-means++ seeding followed by
 Lloyd iterations on the coreset and evaluating the resulting centers on the
 full dataset (Table 8).
+
+Pruned refinement
+-----------------
+The default engine maintains Hamerly-style center-movement bounds instead of
+recomputing the full ``(n, k)`` distance block every iteration: each point
+carries an exact distance to its assigned center (``upper``) and a lower
+bound on the distance to every *other* center (``lower``), deflated by the
+largest center drift after every M-step.  Points with ``upper < lower``
+provably keep their assignment and skip the distance block entirely; only
+the small suspect set is re-examined.  Because the E-step is warm-started
+from the previous assignment, the per-iteration cost drops from ``O(nkd)``
+to ``O(nd)`` plus the suspect block, which is what makes the Table-8-style
+evaluation runs cheap (see ``benchmarks/bench_perf_hotpaths.py``,
+``lloyd_*`` rows).
+
+Exact equivalence
+-----------------
+Pruning only ever *skips* work whose outcome is provably unchanged, so the
+pruned engine produces bit-identical assignments, centers, costs, iteration
+counts, and random streams to the naive full-recompute loop (available as
+``algorithm="naive"`` and frozen in :mod:`repro.reference.naive_lloyd`).
+Three implementation rules make the equivalence exact rather than merely
+mathematical:
+
+* cost and re-seed mass are computed by :func:`assigned_squared_distances`,
+  a per-point kernel whose output depends only on ``(points, centers,
+  assignment)`` — never on which points were pruned;
+* suspect points are re-examined with the same norm-expansion block kernel
+  (and chunk policy) as the naive E-step; multi-row GEMM blocks are
+  row-stable, and suspect sets are padded to a minimum row count because a
+  single-row product routes to a different BLAS kernel;
+* the bounds carry a tiny relative safety factor so that ulp-level
+  discrepancies between the per-point and blocked kernels can never flip a
+  pruning decision.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.clustering.cost import ClusteringSolution
 from repro.clustering.kmeans_pp import kmeans_plus_plus
-from repro.geometry.distances import squared_point_to_set_distances
+from repro.geometry.distances import (
+    DEFAULT_CHUNK_ELEMENTS,
+    _chunk_rows,
+    squared_point_to_set_distances,
+)
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_integer, check_points, check_weights
+
+#: Relative inflation applied to the Hamerly bounds.  The bounds are valid in
+#: exact arithmetic; the safety factor absorbs ulp-level differences between
+#: the blocked and per-point distance kernels so a pruning decision can never
+#: disagree with the naive argmin.
+_BOUND_SAFETY = 1e-12
+
+#: Minimum number of rows handed to the blocked distance kernel.  BLAS routes
+#: single-row products through a different (matrix-vector) kernel whose
+#: results are not bit-identical to the blocked GEMM; padding tiny suspect
+#: sets keeps every recompute on the row-stable path.
+_MIN_RECOMPUTE_ROWS = 8
 
 
 @dataclass
@@ -39,6 +89,10 @@ class KMeansResult:
     converged:
         ``True`` when the relative cost improvement dropped below the
         tolerance before the iteration cap was reached.
+    recompute_fraction:
+        Fraction of point-iterations for which the pruned engine had to fall
+        back to the full distance block (1.0 for the naive engine; the first
+        assignment is always a full block and is not counted).
     """
 
     centers: np.ndarray
@@ -46,12 +100,130 @@ class KMeansResult:
     cost: float
     iterations: int
     converged: bool
+    recompute_fraction: float = 1.0
 
     def as_solution(self) -> ClusteringSolution:
         """View the result as a generic :class:`ClusteringSolution`."""
         return ClusteringSolution(
             centers=self.centers, assignment=self.assignment, cost=self.cost, z=2
         )
+
+
+# --------------------------------------------------------------- primitives
+def assigned_squared_distances(
+    points: np.ndarray, centers: np.ndarray, assignment: np.ndarray
+) -> np.ndarray:
+    """Exact squared distance from every point to its *assigned* center.
+
+    Computed point-wise (no matrix-matrix product), so the result depends
+    only on ``(points, centers, assignment)`` and not on which points a
+    caller chose to recompute — the property the naive and pruned engines
+    rely on to report bit-identical costs and re-seed masses.
+    """
+    delta = points - centers[assignment]
+    return np.einsum("ij,ij->i", delta, delta)
+
+
+def _nearest_two(
+    points: np.ndarray, centers: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Nearest and second-nearest squared center distances plus the argmin.
+
+    Uses the same norm expansion, clamping, and chunk policy as
+    :func:`~repro.geometry.distances.squared_point_to_set_distances`, so the
+    assignments it produces are bit-identical to the naive E-step's for any
+    (multi-row) subset of the points.
+    """
+    n = points.shape[0]
+    k = centers.shape[0]
+    center_norms = np.einsum("ij,ij->i", centers, centers)
+    best = np.empty(n, dtype=np.float64)
+    second = np.empty(n, dtype=np.float64)
+    assignment = np.empty(n, dtype=np.int64)
+    # Shared with squared_point_to_set_distances: the bit-identity contract
+    # requires the two E-steps to partition rows into the same GEMM blocks.
+    rows = _chunk_rows(k, DEFAULT_CHUNK_ELEMENTS)
+    for start in range(0, n, rows):
+        stop = min(start + rows, n)
+        block = points[start:stop]
+        block_norms = np.einsum("ij,ij->i", block, block)
+        squared = block_norms[:, None] + center_norms[None, :] - 2.0 * (block @ centers.T)
+        np.maximum(squared, 0.0, out=squared)
+        local = np.argmin(squared, axis=1)
+        local_rows = np.arange(stop - start)
+        assignment[start:stop] = local
+        best[start:stop] = squared[local_rows, local]
+        if k >= 2:
+            squared[local_rows, local] = np.inf
+            second[start:stop] = squared.min(axis=1)
+        else:
+            second[start:stop] = np.inf
+    return best, second, assignment
+
+
+def _reseed_empty_clusters(
+    new_centers: np.ndarray,
+    empty: np.ndarray,
+    points: np.ndarray,
+    weights: np.ndarray,
+    squared: np.ndarray,
+    generator: np.random.Generator,
+) -> None:
+    """Re-seed empty clusters at far-away points (weighted by current cost).
+
+    With several empty clusters the replacements are drawn *without*
+    replacement: drawing the same far point twice would re-seed two centers
+    at the same location and immediately re-empty one of them on the next
+    assignment (the duplicate loses every argmin tie).
+    """
+    n = points.shape[0]
+    mass = weights * squared
+    total = float(mass.sum())
+    if total <= 0 or not np.isfinite(total):
+        replacement = generator.choice(n, size=empty.size, replace=empty.size > n)
+    else:
+        distinct = empty.size > 1 and int(np.count_nonzero(mass > 0)) >= empty.size
+        if distinct:
+            replacement = generator.choice(
+                n, size=empty.size, replace=False, p=mass / total
+            )
+        else:
+            replacement = generator.choice(
+                n, size=empty.size, replace=True, p=mass / total
+            )
+    new_centers[empty] = points[replacement]
+
+
+def update_centers(
+    points: np.ndarray,
+    weights: np.ndarray,
+    assignment: np.ndarray,
+    squared: np.ndarray,
+    centers: np.ndarray,
+    generator: np.random.Generator,
+) -> np.ndarray:
+    """One M-step: weighted means per cluster, empty clusters re-seeded.
+
+    ``squared`` must be the per-point squared distance to the assigned
+    center (the re-seed sampling mass).  Shared by the naive and pruned
+    engines so their center sequences — and their consumption of
+    ``generator`` — are identical.
+    """
+    k = centers.shape[0]
+    new_centers = centers.copy()
+    counts = np.bincount(assignment, weights=weights, minlength=k)
+    weighted = weights[:, None] * points
+    sums = np.empty_like(centers)
+    for coordinate in range(points.shape[1]):
+        sums[:, coordinate] = np.bincount(
+            assignment, weights=weighted[:, coordinate], minlength=k
+        )
+    occupied = counts > 0
+    new_centers[occupied] = sums[occupied] / counts[occupied, None]
+    empty = np.flatnonzero(~occupied)
+    if empty.size:
+        _reseed_empty_clusters(new_centers, empty, points, weights, squared, generator)
+    return new_centers
 
 
 def lloyd_iteration(
@@ -62,31 +234,142 @@ def lloyd_iteration(
 ) -> np.ndarray:
     """One Lloyd step: assign to nearest centers, then recompute weighted means.
 
-    Empty clusters are re-seeded at the point currently farthest from its
-    assigned center, the standard practical fix that keeps exactly ``k``
-    centers alive.
+    Empty clusters are re-seeded at points far from their assigned center
+    (see :func:`update_centers`), the standard practical fix that keeps
+    exactly ``k`` centers alive.
     """
     squared, assignment = squared_point_to_set_distances(points, centers)
-    k = centers.shape[0]
-    new_centers = centers.copy()
-    counts = np.bincount(assignment, weights=weights, minlength=k)
-    sums = np.zeros_like(centers)
-    np.add.at(sums, assignment, weights[:, None] * points)
-    occupied = counts > 0
-    new_centers[occupied] = sums[occupied] / counts[occupied, None]
-    empty = np.flatnonzero(~occupied)
-    if empty.size:
-        # Re-seed each empty cluster at a far-away point (weighted by cost).
-        mass = weights * squared
-        total = mass.sum()
-        if total <= 0:
-            replacement = generator.choice(points.shape[0], size=empty.size, replace=True)
-        else:
-            replacement = generator.choice(
-                points.shape[0], size=empty.size, replace=True, p=mass / total
+    return update_centers(points, weights, assignment, squared, centers, generator)
+
+
+# ------------------------------------------------------------------ engines
+def _converged(previous_cost: float, cost: float, tolerance: float) -> bool:
+    return previous_cost < np.inf and previous_cost - cost <= tolerance * max(
+        previous_cost, 1e-12
+    )
+
+
+def _run_naive(
+    points: np.ndarray,
+    weights: np.ndarray,
+    centers: np.ndarray,
+    max_iterations: int,
+    tolerance: float,
+    generator: np.random.Generator,
+) -> KMeansResult:
+    """Full-recompute Lloyd loop (one ``(n, k)`` distance block per iteration)."""
+    _, assignment = squared_point_to_set_distances(points, centers)
+    squared = assigned_squared_distances(points, centers, assignment)
+    previous_cost = np.inf
+    cost = np.inf
+    converged = False
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        centers = update_centers(points, weights, assignment, squared, centers, generator)
+        _, assignment = squared_point_to_set_distances(points, centers)
+        squared = assigned_squared_distances(points, centers, assignment)
+        cost = float(np.dot(weights, squared))
+        if _converged(previous_cost, cost, tolerance):
+            converged = True
+            break
+        previous_cost = cost
+    return KMeansResult(
+        centers=centers,
+        assignment=assignment,
+        cost=cost,
+        iterations=iterations,
+        converged=converged,
+        recompute_fraction=1.0,
+    )
+
+
+def _run_pruned(
+    points: np.ndarray,
+    weights: np.ndarray,
+    centers: np.ndarray,
+    max_iterations: int,
+    tolerance: float,
+    generator: np.random.Generator,
+) -> KMeansResult:
+    """Hamerly-bounded Lloyd loop: skip points whose assignment cannot change.
+
+    Invariants maintained for every point ``i`` (in exact arithmetic, with
+    the :data:`_BOUND_SAFETY` margin absorbing floating-point slack):
+
+    * ``assignment[i]`` is the current nearest center;
+    * ``lower[i]`` is at most the distance from ``i`` to every center other
+      than ``assignment[i]``.
+
+    After an M-step that moves every center by at most ``max_drift``, the
+    assigned distance is recomputed exactly (it is needed for the cost
+    anyway) and ``lower`` shrinks by ``max_drift``; whenever the exact
+    assigned distance stays strictly below ``lower``, no other center can
+    have overtaken it and the ``(n, k)`` block is skipped for that point.
+    """
+    n = points.shape[0]
+    best_sq, second_sq, assignment = _nearest_two(points, centers)
+    lower = np.sqrt(second_sq) * (1.0 - _BOUND_SAFETY)
+    squared = assigned_squared_distances(points, centers, assignment)
+    previous_cost = np.inf
+    cost = np.inf
+    converged = False
+    iterations = 0
+    recomputed = 0
+    for iterations in range(1, max_iterations + 1):
+        new_centers = update_centers(points, weights, assignment, squared, centers, generator)
+        movement = new_centers - centers
+        drift = np.sqrt(np.einsum("ij,ij->i", movement, movement))
+        centers = new_centers
+        # ``lower`` bounds the distance to centers *other* than the assigned
+        # one, so each point only needs to absorb the largest drift among
+        # those: points assigned to the biggest mover (typically a re-seeded
+        # or still-converging center) subtract the runner-up drift instead,
+        # which keeps one teleporting center from suspending pruning for the
+        # whole dataset.
+        if drift.size >= 2:
+            top = int(np.argmax(drift))
+            max_drift = float(drift[top]) * (1.0 + _BOUND_SAFETY)
+            runner_up = float(np.partition(drift, -2)[-2]) * (1.0 + _BOUND_SAFETY)
+            lower -= np.where(assignment == top, runner_up, max_drift)
+        elif drift.size:
+            lower -= float(drift[0]) * (1.0 + _BOUND_SAFETY)
+        squared = assigned_squared_distances(points, centers, assignment)
+        upper = np.sqrt(squared) * (1.0 + _BOUND_SAFETY)
+        suspects = np.flatnonzero(upper >= lower)
+        if suspects.size:
+            recompute = suspects
+            if recompute.size < min(n, _MIN_RECOMPUTE_ROWS):
+                # Pad tiny suspect sets onto the row-stable GEMM path; the
+                # recomputed argmin is authoritative, so extra rows are safe.
+                recompute = np.unique(
+                    np.concatenate([suspects, np.arange(min(n, _MIN_RECOMPUTE_ROWS))])
+                )
+            r_best, r_second, r_assignment = _nearest_two(points[recompute], centers)
+            assignment[recompute] = r_assignment
+            lower[recompute] = np.sqrt(r_second) * (1.0 - _BOUND_SAFETY)
+            # Per-point kernel rows are bit-stable under subsetting, so only
+            # the re-assigned rows of the cost basis need refreshing.
+            squared[recompute] = assigned_squared_distances(
+                points[recompute], centers, assignment[recompute]
             )
-        new_centers[empty] = points[replacement]
-    return new_centers
+            recomputed += recompute.size
+        cost = float(np.dot(weights, squared))
+        if _converged(previous_cost, cost, tolerance):
+            converged = True
+            break
+        previous_cost = cost
+    fraction = recomputed / float(n * iterations) if iterations else 0.0
+    return KMeansResult(
+        centers=centers,
+        assignment=assignment,
+        cost=cost,
+        iterations=iterations,
+        converged=converged,
+        recompute_fraction=fraction,
+    )
+
+
+_ENGINES = {"pruned": _run_pruned, "naive": _run_naive}
 
 
 def kmeans(
@@ -97,6 +380,7 @@ def kmeans(
     max_iterations: int = 50,
     tolerance: float = 1e-4,
     initial_centers: Optional[np.ndarray] = None,
+    algorithm: str = "pruned",
     seed: SeedLike = None,
 ) -> KMeansResult:
     """Weighted k-means via k-means++ seeding followed by Lloyd iterations.
@@ -119,6 +403,11 @@ def kmeans(
         Explicit starting centers; when given, seeding is skipped.  Table 8
         of the paper compares samplers under *identical* initialisations,
         which this parameter makes possible.
+    algorithm:
+        ``"pruned"`` (default) for the Hamerly-bounded engine, ``"naive"``
+        for the full-recompute loop.  Both produce bit-identical results
+        (see the module docstring); the naive engine is kept for the
+        equivalence tests and the perf harness.
     seed:
         Randomness for seeding and empty-cluster repair.
     """
@@ -127,6 +416,10 @@ def kmeans(
     k = check_integer(k, name="k")
     weights = check_weights(weights, n)
     generator = as_generator(seed)
+    if algorithm not in _ENGINES:
+        raise ValueError(
+            f"algorithm must be one of {sorted(_ENGINES)}, got {algorithm!r}"
+        )
 
     if initial_centers is not None:
         centers = np.asarray(initial_centers, dtype=np.float64).copy()
@@ -135,24 +428,6 @@ def kmeans(
     else:
         centers = kmeans_plus_plus(points, min(k, n), weights=weights, z=2, seed=generator).centers
 
-    previous_cost = np.inf
-    cost = np.inf
-    assignment = np.zeros(n, dtype=np.int64)
-    converged = False
-    iterations = 0
-    for iterations in range(1, max_iterations + 1):
-        centers = lloyd_iteration(points, centers, weights, generator)
-        squared, assignment = squared_point_to_set_distances(points, centers)
-        cost = float(np.dot(weights, squared))
-        if previous_cost < np.inf and previous_cost - cost <= tolerance * max(previous_cost, 1e-12):
-            converged = True
-            break
-        previous_cost = cost
-
-    return KMeansResult(
-        centers=centers,
-        assignment=assignment,
-        cost=cost,
-        iterations=iterations,
-        converged=converged,
+    return _ENGINES[algorithm](
+        points, weights, centers, max_iterations, tolerance, generator
     )

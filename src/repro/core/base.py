@@ -50,6 +50,7 @@ class CoresetConstruction(abc.ABC):
         *,
         weights: Optional[np.ndarray] = None,
         seed: SeedLike = None,
+        spread: Optional[float] = None,
     ) -> Coreset:
         """Compress ``points`` into a weighted subset of size ``m``.
 
@@ -67,12 +68,19 @@ class CoresetConstruction(abc.ABC):
             construction time is used, which keeps repeated experiment runs
             reproducible while still allowing the harness to vary seeds
             across repetitions.
+        spread:
+            Optional precomputed spread estimate of ``points`` (only its
+            logarithm is consumed downstream).  Samplers that do not build
+            quadtrees ignore it; :class:`~repro.core.fast_coreset.FastCoreset`
+            uses it to skip its per-call spread estimates, which is how the
+            streaming merge-&-reduce tree shares one estimate across every
+            compression of a stream.
         """
         points = check_points(points)
         weights = check_weights(weights, points.shape[0])
         m = check_sample_size(m, points.shape[0])
         effective_seed = seed if seed is not None else self.seed
-        coreset = self._sample(points, weights, m, effective_seed)
+        coreset = self._sample(points, weights, m, effective_seed, spread=spread)
         coreset.method = self.name
         return coreset
 
@@ -83,6 +91,7 @@ class CoresetConstruction(abc.ABC):
         weights: np.ndarray,
         m: int,
         seed: SeedLike,
+        spread: Optional[float] = None,
     ) -> Coreset:
         """Produce the compression; inputs are already validated."""
 

@@ -152,11 +152,15 @@ class FastCoreset(CoresetConstruction):
         weights: np.ndarray,
         m: int,
         seed: SeedLike,
+        spread: Optional[float] = None,
     ) -> Coreset:
         generator = as_generator(seed)
 
         if self.use_spread_reduction:
-            reduction = reduce_spread(points, self.k, seed=generator)
+            # A caller-supplied ``spread`` (e.g. the merge-&-reduce tree's
+            # per-stream cache) lets the reduction skip both of its internal
+            # estimates; only the log of the value is consumed downstream.
+            reduction = reduce_spread(points, self.k, spread=spread, seed=generator)
             working_points = reduction.points
             # Reuse the reduction's diagnostic spread of P' instead of
             # letting the seeding re-estimate it from scratch.
@@ -164,7 +168,7 @@ class FastCoreset(CoresetConstruction):
         else:
             reduction = None
             working_points = points
-            working_spread = None
+            working_spread = spread
 
         bicriteria = self._bicriteria_solution(
             working_points, weights, generator, spread=working_spread

@@ -202,6 +202,7 @@ class SensitivitySampling(CoresetConstruction):
         weights: np.ndarray,
         m: int,
         seed: SeedLike,
+        spread: Optional[float] = None,
     ) -> Coreset:
         generator = as_generator(seed)
         solution = self.candidate_solution(points, weights, generator)
@@ -268,6 +269,7 @@ class LightweightCoreset(CoresetConstruction):
         weights: np.ndarray,
         m: int,
         seed: SeedLike,
+        spread: Optional[float] = None,
     ) -> Coreset:
         generator = as_generator(seed)
         total_weight = weights.sum()

@@ -235,7 +235,15 @@ def reduce_spread(
     spread:
         Optional precomputed spread estimate of ``points``.  When ``None``
         it is estimated once here and shared with Algorithm 2 (the seed
-        implementation paid the pairwise-distance subsample twice).
+        implementation paid the pairwise-distance subsample twice).  When
+        given, the post-reduction spread is not re-estimated from pairwise
+        distances either: the rounding step bounds every non-zero distance
+        of ``P'`` from below by the granularity ``g``, so the reported
+        ``reduced_spread`` is the analytic ``diameter / g`` bound (capped by
+        the supplied estimate) — the polynomial collapse of Theorem 4.6 —
+        and only its logarithm is consumed downstream.  Streaming callers
+        exploit this to run whole streams of compressions off a single
+        cached estimate.
     seed:
         Randomness for the grids.
 
@@ -252,7 +260,8 @@ def reduce_spread(
     k = check_integer(k, name="k")
     generator = as_generator(seed)
 
-    original_spread = float(spread) if spread is not None else compute_spread(points, seed=generator)
+    spread_supplied = spread is not None
+    original_spread = float(spread) if spread_supplied else compute_spread(points, seed=generator)
 
     if upper_bound is None:
         upper_bound = crude_cost_upper_bound(
@@ -305,7 +314,22 @@ def reduce_spread(
         # numerical hazard); skipping it only makes P' more accurate.
         granularity = 0.0
 
-    reduced_spread = compute_spread(reduced, seed=generator)
+    if spread_supplied:
+        # No pairwise subsample on this path; instead use the reduction's
+        # own guarantee.  Rounding to multiples of ``g`` lower-bounds every
+        # non-zero distance by ``g``, so the spread of P' is at most
+        # (bounding-box diagonal) / g — the poly(n, d, log Delta) collapse
+        # the reduction exists to provide — and never worse than the
+        # caller's estimate.  When rounding was skipped the spread was
+        # already at floating-point resolution and the estimate stands.
+        if granularity > 0 and reduced.size:
+            span = reduced.max(axis=0) - reduced.min(axis=0)
+            diagonal = float(np.linalg.norm(span))
+            reduced_spread = max(1.0, min(original_spread, diagonal / granularity))
+        else:
+            reduced_spread = original_spread
+    else:
+        reduced_spread = compute_spread(reduced, seed=generator)
     return SpreadReductionResult(
         points=reduced,
         shifts=shifts,

@@ -48,6 +48,7 @@ class UniformSampling(CoresetConstruction):
         weights: np.ndarray,
         m: int,
         seed: SeedLike,
+        spread: Optional[float] = None,
     ) -> Coreset:
         generator = as_generator(seed)
         n = points.shape[0]

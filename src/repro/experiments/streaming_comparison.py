@@ -37,6 +37,7 @@ def table5_streaming_comparison(
     z: int = 2,
     scale: Optional[ExperimentScale] = None,
     repetitions: Optional[int] = None,
+    share_stream_state: bool = True,
     seed: SeedLike = 0,
 ) -> List[ExperimentRow]:
     """Reproduce Table 5 / Figure 5 (streaming vs static distortion and runtime).
@@ -47,6 +48,10 @@ def table5_streaming_comparison(
         Dataset names; the paper restricts the real data to MNIST and Adult.
     n_blocks:
         Number of stream blocks for the merge-&-reduce tree.
+    share_stream_state:
+        Let the merge-&-reduce tree cache its spread estimate across
+        compressions (default); disable to reproduce the per-block-estimate
+        baseline when auditing composition quality.
     z, scale, repetitions, seed:
         Cost exponent, experiment scale, repetitions, base randomness.
     """
@@ -75,7 +80,10 @@ def table5_streaming_comparison(
 
                 stream = DataStream.with_block_count(dataset.points, n_blocks)
                 pipeline = StreamingCoresetPipeline(
-                    sampler=sampler, coreset_size=m, seed=random_seed_from(generator)
+                    sampler=sampler,
+                    coreset_size=m,
+                    seed=random_seed_from(generator),
+                    share_stream_state=share_stream_state,
                 )
                 streaming_coreset, streaming_seconds = timed(pipeline.run, stream)
                 streaming_distortions.append(

@@ -14,6 +14,21 @@ Do not modify these snapshots when optimizing the live implementations —
 that would silently move the goalposts of both the tests and the benchmark.
 """
 
+from repro.reference.naive_lloyd import naive_kmeans
 from repro.reference.seed_hotpath import SeedQuadtreeEmbedding, seed_fast_kmeans_plus_plus
+from repro.reference.seed_streaming import (
+    SeedMergeReduceTree,
+    seed_compute_spread,
+    seed_stream_coreset,
+    seed_streamkm_reduce,
+)
 
-__all__ = ["SeedQuadtreeEmbedding", "seed_fast_kmeans_plus_plus"]
+__all__ = [
+    "SeedQuadtreeEmbedding",
+    "SeedMergeReduceTree",
+    "naive_kmeans",
+    "seed_compute_spread",
+    "seed_fast_kmeans_plus_plus",
+    "seed_stream_coreset",
+    "seed_streamkm_reduce",
+]

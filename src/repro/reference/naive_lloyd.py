@@ -1,0 +1,131 @@
+"""Frozen naive Lloyd loop — the equivalence partner of the pruned engine.
+
+This module freezes the full-recompute Lloyd refinement exactly as it stood
+when the bounds-pruned engine of :mod:`repro.clustering.lloyd` was
+introduced: one full ``(n, k)`` distance block per iteration, cost and
+re-seed mass taken from the per-point assigned-distance kernel, and the
+empty-cluster repair that draws distinct replacements when several clusters
+empty at once.  The exact-equivalence suite
+(``tests/test_lloyd_pruned_equivalence.py``) asserts that the pruned engine
+reproduces this loop bit for bit — assignments, centers, costs, iteration
+counts, convergence flags, and generator consumption — and the perf harness
+(``benchmarks/bench_perf_hotpaths.py``, ``lloyd_*`` rows) times the two
+against each other.
+
+The helper bodies are *copied*, not imported, from the live module (the same
+freeze policy as :mod:`repro.reference.seed_hotpath`): a future change to
+the live helpers must consciously re-freeze this file for the equivalence
+claim to stay meaningful.  Only stateless primitives whose bit-behaviour is
+itself pinned by tests (`squared_point_to_set_distances`, k-means++ seeding,
+validation) are shared.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.clustering.kmeans_pp import kmeans_plus_plus
+from repro.clustering.lloyd import KMeansResult
+from repro.geometry.distances import squared_point_to_set_distances
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_integer, check_points, check_weights
+
+
+def _assigned_squared_distances(
+    points: np.ndarray, centers: np.ndarray, assignment: np.ndarray
+) -> np.ndarray:
+    """Frozen copy of :func:`repro.clustering.lloyd.assigned_squared_distances`."""
+    delta = points - centers[assignment]
+    return np.einsum("ij,ij->i", delta, delta)
+
+
+def _update_centers(
+    points: np.ndarray,
+    weights: np.ndarray,
+    assignment: np.ndarray,
+    squared: np.ndarray,
+    centers: np.ndarray,
+    generator: np.random.Generator,
+) -> np.ndarray:
+    """Frozen copy of :func:`repro.clustering.lloyd.update_centers`."""
+    k = centers.shape[0]
+    n = points.shape[0]
+    new_centers = centers.copy()
+    counts = np.bincount(assignment, weights=weights, minlength=k)
+    weighted = weights[:, None] * points
+    sums = np.empty_like(centers)
+    for coordinate in range(points.shape[1]):
+        sums[:, coordinate] = np.bincount(
+            assignment, weights=weighted[:, coordinate], minlength=k
+        )
+    occupied = counts > 0
+    new_centers[occupied] = sums[occupied] / counts[occupied, None]
+    empty = np.flatnonzero(~occupied)
+    if empty.size:
+        mass = weights * squared
+        total = float(mass.sum())
+        if total <= 0 or not np.isfinite(total):
+            replacement = generator.choice(n, size=empty.size, replace=empty.size > n)
+        else:
+            distinct = empty.size > 1 and int(np.count_nonzero(mass > 0)) >= empty.size
+            if distinct:
+                replacement = generator.choice(
+                    n, size=empty.size, replace=False, p=mass / total
+                )
+            else:
+                replacement = generator.choice(
+                    n, size=empty.size, replace=True, p=mass / total
+                )
+        new_centers[empty] = points[replacement]
+    return new_centers
+
+
+def naive_kmeans(
+    points: np.ndarray,
+    k: int,
+    *,
+    weights: Optional[np.ndarray] = None,
+    max_iterations: int = 50,
+    tolerance: float = 1e-4,
+    initial_centers: Optional[np.ndarray] = None,
+    seed: SeedLike = None,
+) -> KMeansResult:
+    """Frozen full-recompute Lloyd loop (same contract as the live ``kmeans``)."""
+    points = check_points(points)
+    n = points.shape[0]
+    k = check_integer(k, name="k")
+    weights = check_weights(weights, n)
+    generator = as_generator(seed)
+
+    if initial_centers is not None:
+        centers = np.asarray(initial_centers, dtype=np.float64).copy()
+        if centers.ndim != 2 or centers.shape[1] != points.shape[1]:
+            raise ValueError("initial_centers must be a (k, d) array matching the data dimension")
+    else:
+        centers = kmeans_plus_plus(points, min(k, n), weights=weights, z=2, seed=generator).centers
+
+    _, assignment = squared_point_to_set_distances(points, centers)
+    squared = _assigned_squared_distances(points, centers, assignment)
+    previous_cost = np.inf
+    cost = np.inf
+    converged = False
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        centers = _update_centers(points, weights, assignment, squared, centers, generator)
+        _, assignment = squared_point_to_set_distances(points, centers)
+        squared = _assigned_squared_distances(points, centers, assignment)
+        cost = float(np.dot(weights, squared))
+        if previous_cost < np.inf and previous_cost - cost <= tolerance * max(previous_cost, 1e-12):
+            converged = True
+            break
+        previous_cost = cost
+    return KMeansResult(
+        centers=centers,
+        assignment=assignment,
+        cost=cost,
+        iterations=iterations,
+        converged=converged,
+        recompute_fraction=1.0,
+    )

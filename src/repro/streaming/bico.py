@@ -242,6 +242,7 @@ class BicoCoreset(CoresetConstruction):
         weights: np.ndarray,
         m: int,
         seed: SeedLike,
+        spread: Optional[float] = None,
     ) -> Coreset:
         """Static-setting interface: stream the whole dataset through BICO."""
         instance = BicoCoreset(coreset_size=m, block_size=self.block_size, z=self.z, seed=seed)

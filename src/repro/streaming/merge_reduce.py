@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.core.base import CoresetConstruction
 from repro.core.coreset import Coreset, merge_coresets
+from repro.geometry.quadtree import compute_spread
 from repro.streaming.stream import Block, DataStream
 from repro.utils.rng import SeedLike, as_generator, random_seed_from
 from repro.utils.validation import check_integer
@@ -46,6 +47,28 @@ class MergeReduceTree:
         Target size ``m`` of every compression held by the tree.
     seed:
         Randomness; every compression receives a fresh seed derived from it.
+    share_stream_state:
+        Share per-stream work across compressions (default).  The tree keeps
+        a running bounding box of everything it has seen and a cached spread
+        estimate; every compression receives the cached value through the
+        sampler's ``spread`` hook instead of re-estimating it from scratch
+        (the dominant fixed cost of a :class:`~repro.core.fast_coreset.FastCoreset`
+        fit on a small block).  Because only the *logarithm* of the spread is
+        consumed downstream, the cache is refreshed only when the bounding
+        box diagonal grows past ``spread_refresh_factor`` times its size at
+        the previous estimate.  Disabling the flag restores the exact
+        per-block-estimate behaviour (used as the baseline by the perf
+        harness and the distortion-parity tests).
+    spread_refresh_factor:
+        Bounding-box growth ratio that triggers a fresh estimate.
+    spread_refresh_interval:
+        Hard cap on staleness: a fresh estimate is taken at least every this
+        many compressions even when the bounding box is stable.  The box
+        cannot see the spread grow through *shrinking minimum distances*
+        (e.g. near-duplicate points arriving late in the stream inside the
+        established box), so the periodic resync bounds how long such a
+        stream can run on an underestimate; at the default interval the
+        amortised cost of the (blocked) estimate stays negligible.
 
     Attributes
     ----------
@@ -54,25 +77,77 @@ class MergeReduceTree:
         level ``l``.
     reductions:
         Number of reduce operations performed so far (diagnostics).
+    spread_refreshes:
+        Number of spread estimates actually computed (diagnostics; at most
+        one per compression, exactly one for a stationary stream).
     """
 
     sampler: CoresetConstruction
     coreset_size: int
     seed: SeedLike = None
+    share_stream_state: bool = True
+    spread_refresh_factor: float = 2.0
+    spread_refresh_interval: int = 32
     levels: Dict[int, Coreset] = field(default_factory=dict)
     reductions: int = 0
     blocks_seen: int = 0
+    spread_refreshes: int = 0
 
     def __post_init__(self) -> None:
         self.coreset_size = check_integer(self.coreset_size, name="coreset_size")
         self._generator = as_generator(self.seed)
+        # The spread cache draws from its own derived generator (seeded here
+        # unconditionally) so that toggling ``share_stream_state`` never
+        # shifts the per-compression seed stream: with a hint-agnostic
+        # sampler the two modes produce identical coresets.
+        self._spread_generator = as_generator(random_seed_from(self._generator))
+        self._bounds_low: Optional[np.ndarray] = None
+        self._bounds_high: Optional[np.ndarray] = None
+        self._cached_spread: Optional[float] = None
+        self._cached_diameter: float = 0.0
+        self._compressions_since_refresh: int = 0
 
     # ------------------------------------------------------------------
+    def _observe(self, points: np.ndarray) -> None:
+        """Fold one raw block into the running bounding box of the stream."""
+        low = points.min(axis=0)
+        high = points.max(axis=0)
+        if self._bounds_low is None:
+            self._bounds_low = low
+            self._bounds_high = high
+        else:
+            self._bounds_low = np.minimum(self._bounds_low, low)
+            self._bounds_high = np.maximum(self._bounds_high, high)
+
+    def _spread_hint(self, points: np.ndarray) -> Optional[float]:
+        """Cached spread of the stream, refreshed on bounding-box growth."""
+        if not self.share_stream_state:
+            return None
+        if self._bounds_low is None or points.shape[0] < 2:
+            return None
+        diameter = float(np.linalg.norm(self._bounds_high - self._bounds_low))
+        self._compressions_since_refresh += 1
+        stale = (
+            self._cached_spread is None
+            or diameter > self.spread_refresh_factor * self._cached_diameter
+            or self._compressions_since_refresh > self.spread_refresh_interval
+        )
+        if stale:
+            self._cached_spread = compute_spread(points, seed=self._spread_generator)
+            self._cached_diameter = diameter
+            self._compressions_since_refresh = 0
+            self.spread_refreshes += 1
+        return self._cached_spread
+
     def _compress(self, points: np.ndarray, weights: np.ndarray) -> Coreset:
         """Compress a weighted point set to at most ``coreset_size`` points."""
         m = min(self.coreset_size, points.shape[0])
         return self.sampler.sample(
-            points, m, weights=weights, seed=random_seed_from(self._generator)
+            points,
+            m,
+            weights=weights,
+            seed=random_seed_from(self._generator),
+            spread=self._spread_hint(points),
         )
 
     def add_block(self, points: np.ndarray, weights: Optional[np.ndarray] = None) -> None:
@@ -80,6 +155,8 @@ class MergeReduceTree:
         if weights is None:
             weights = np.ones(points.shape[0], dtype=np.float64)
         self.blocks_seen += 1
+        if self.share_stream_state and points.shape[0]:
+            self._observe(points)
         current = self._compress(points, weights)
         level = 0
         # Carry-propagation: merging two level-l compressions yields a
@@ -130,21 +207,26 @@ class StreamingCoresetPipeline:
     sampler: CoresetConstruction
     coreset_size: int
     seed: SeedLike = None
+    share_stream_state: bool = True
+
+    def _tree(self) -> MergeReduceTree:
+        return MergeReduceTree(
+            sampler=self.sampler,
+            coreset_size=self.coreset_size,
+            seed=self.seed,
+            share_stream_state=self.share_stream_state,
+        )
 
     def run(self, stream: Iterable[Block]) -> Coreset:
         """Process every block of ``stream`` and return the final compression."""
-        tree = MergeReduceTree(
-            sampler=self.sampler, coreset_size=self.coreset_size, seed=self.seed
-        )
+        tree = self._tree()
         for points, weights in stream:
             tree.add_block(points, weights)
         return tree.finalize()
 
     def run_with_statistics(self, stream: Iterable[Block]) -> Tuple[Coreset, Dict[str, float]]:
         """Run and also report tree statistics (blocks, reductions, total weight)."""
-        tree = MergeReduceTree(
-            sampler=self.sampler, coreset_size=self.coreset_size, seed=self.seed
-        )
+        tree = self._tree()
         for points, weights in stream:
             tree.add_block(points, weights)
         coreset = tree.finalize()
@@ -153,6 +235,7 @@ class StreamingCoresetPipeline:
             "reductions": float(tree.reductions),
             "coreset_size": float(coreset.size),
             "total_weight": coreset.total_weight,
+            "spread_refreshes": float(tree.spread_refreshes),
         }
         return coreset, statistics
 
@@ -165,6 +248,7 @@ def stream_dataset(
     n_blocks: int = 16,
     weights: Optional[np.ndarray] = None,
     seed: SeedLike = None,
+    share_stream_state: bool = True,
 ) -> Coreset:
     """Convenience wrapper: stream an in-memory dataset through merge-&-reduce.
 
@@ -173,7 +257,12 @@ def stream_dataset(
     with the given sampler under composition.
     """
     stream = DataStream.with_block_count(points, n_blocks, weights=weights)
-    pipeline = StreamingCoresetPipeline(sampler=sampler, coreset_size=coreset_size, seed=seed)
+    pipeline = StreamingCoresetPipeline(
+        sampler=sampler,
+        coreset_size=coreset_size,
+        seed=seed,
+        share_stream_state=share_stream_state,
+    )
     return pipeline.run(stream)
 
 

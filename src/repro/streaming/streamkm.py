@@ -15,6 +15,18 @@ The implementation exposes both interfaces used in the paper's experiments:
   one coreset of the full dataset), and
 * the streaming interface (``insert_block`` / ``to_coreset``), which runs
   the same reduction inside a merge-&-reduce tree.
+
+Execution notes
+---------------
+The D²-selection loop draws its representatives in *batches* through
+:func:`~repro.utils.rng.weighted_index_draws` instead of rebuilding a
+cumulative mass vector per draw: the D² mass of every point is non-increasing
+as representatives are added, so a batch drawn against a stale mass envelope
+can be thinned by rejection (accept index ``i`` with probability
+``current_mass[i] / envelope[i]``) while preserving the k-means++ selection
+law *exactly*.  The nearest-representative assignment that re-weighting needs
+is maintained incrementally during selection, so the reduction no longer pays
+a second full ``(n, m)`` distance block after seeding.
 """
 
 from __future__ import annotations
@@ -23,12 +35,16 @@ from typing import Optional
 
 import numpy as np
 
-from repro.clustering.kmeans_pp import kmeans_plus_plus
 from repro.core.base import CoresetConstruction
 from repro.core.coreset import Coreset
-from repro.geometry.distances import squared_point_to_set_distances
-from repro.utils.rng import SeedLike, as_generator, random_seed_from
+from repro.geometry.distances import update_nearest_with_new_center
+from repro.utils.rng import SeedLike, as_generator, random_seed_from, weighted_index_draws
 from repro.utils.validation import check_integer, check_points, check_weights
+
+#: Number of candidate draws taken against one mass envelope.  At refresh the
+#: envelope equals the current mass, so every batch accepts at least one
+#: candidate and the loop always terminates.
+_DRAW_BATCH = 64
 
 
 class StreamKMPlusPlus(CoresetConstruction):
@@ -54,6 +70,80 @@ class StreamKMPlusPlus(CoresetConstruction):
         self._generator = as_generator(seed)
 
     # -------------------------------------------------------------- reduce
+    def _selection_mass(self, best_squared: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        """Per-point D^z selection mass against the representatives chosen so far."""
+        if self.z == 2:
+            return weights * best_squared
+        return weights * np.sqrt(best_squared)
+
+    def _dsquared_select(
+        self,
+        points: np.ndarray,
+        weights: np.ndarray,
+        m: int,
+        generator: np.random.Generator,
+    ) -> tuple:
+        """Select ``m`` representatives by exact D²-sampling with batched draws.
+
+        Returns ``(indices, assignment)`` where ``assignment`` maps every
+        input point to its nearest selected representative (maintained
+        incrementally, one rank-1 distance update per accepted center).
+
+        Draws are batched against a mass *envelope*: the selection mass only
+        shrinks as representatives are added, so a candidate drawn from a
+        stale envelope is accepted with probability ``current / envelope``
+        (strict inequality, so zero-mass points — exact duplicates of chosen
+        representatives — are never accepted), which reproduces the
+        sequential k-means++ law exactly while amortising the cumulative-sum
+        and probability-vector work over many draws.
+        """
+        n = points.shape[0]
+        indices = np.empty(m, dtype=np.int64)
+        first = -1
+        total_weight = float(weights.sum())
+        if total_weight > 0:
+            draws = weighted_index_draws(generator, weights, 1)
+            if draws is not None:
+                first = int(draws[0])
+        if first < 0:
+            first = int(generator.integers(0, n))
+        indices[0] = first
+        best_squared, assignment = update_nearest_with_new_center(
+            points, points[first], None, None, 0
+        )
+        count = 1
+        while count < m:
+            envelope = self._selection_mass(best_squared, weights)
+            candidates = weighted_index_draws(generator, envelope, _DRAW_BATCH)
+            if candidates is None:
+                # Every remaining point coincides with a representative; fill
+                # the open slots uniformly (the classical degenerate case).
+                while count < m:
+                    chosen = int(generator.integers(0, n))
+                    indices[count] = chosen
+                    best_squared, assignment = update_nearest_with_new_center(
+                        points, points[chosen], best_squared, assignment, count
+                    )
+                    count += 1
+                break
+            acceptance = generator.random(_DRAW_BATCH)
+            for candidate, u in zip(candidates, acceptance):
+                candidate = int(candidate)
+                current = weights[candidate] * (
+                    best_squared[candidate]
+                    if self.z == 2
+                    else float(np.sqrt(best_squared[candidate]))
+                )
+                if u * envelope[candidate] < current:
+                    indices[count] = candidate
+                    best_squared, assignment = update_nearest_with_new_center(
+                        points, points[candidate], best_squared, assignment, count
+                    )
+                    count += 1
+                    if count == m:
+                        break
+        return indices, assignment
+
     def _coreset_tree_reduce(
         self,
         points: np.ndarray,
@@ -69,12 +159,9 @@ class StreamKMPlusPlus(CoresetConstruction):
         """
         generator = as_generator(seed)
         m = min(m, points.shape[0])
-        seeding = kmeans_plus_plus(points, m, weights=weights, z=self.z, seed=generator)
-        representatives = seeding.centers
-        _, assignment = squared_point_to_set_distances(points, representatives)
-        representative_weights = np.bincount(
-            assignment, weights=weights, minlength=representatives.shape[0]
-        )
+        indices, assignment = self._dsquared_select(points, weights, m, generator)
+        representatives = points[indices]
+        representative_weights = np.bincount(assignment, weights=weights, minlength=m)
         occupied = representative_weights > 0
         return Coreset(
             points=representatives[occupied],
@@ -90,6 +177,7 @@ class StreamKMPlusPlus(CoresetConstruction):
         weights: np.ndarray,
         m: int,
         seed: SeedLike,
+        spread: Optional[float] = None,
     ) -> Coreset:
         return self._coreset_tree_reduce(points, weights, m, seed)
 

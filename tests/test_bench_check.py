@@ -1,0 +1,70 @@
+"""Smoke test for the ``make bench-check`` regression replay.
+
+Replays one small tracked workload at a single repeat in ``--check-only``
+mode: the recorded ``BENCH_hotpaths.json`` must not be rewritten, and the
+tracked ratio must stay within the regression tolerance.  Marked slow — it
+re-times real workloads — and kept to the cheapest tracked entry so the
+full suite stays fast.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH = REPO_ROOT / "benchmarks" / "bench_perf_hotpaths.py"
+TRAJECTORY = REPO_ROOT / "BENCH_hotpaths.json"
+
+
+@pytest.mark.slow
+def test_bench_check_only_passes_and_preserves_json():
+    before = TRAJECTORY.read_text()
+    result = subprocess.run(
+        [
+            sys.executable,
+            str(BENCH),
+            "--check-only",
+            "--repeats",
+            "1",
+            "--workloads",
+            "quadtree_fit_n20k_d20",
+        ],
+        cwd=REPO_ROOT,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "check-only" in result.stdout
+    assert TRAJECTORY.read_text() == before
+
+
+@pytest.mark.slow
+def test_bench_rejects_unknown_workload():
+    result = subprocess.run(
+        [sys.executable, str(BENCH), "--check-only", "--workloads", "nope"],
+        cwd=REPO_ROOT,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert result.returncode != 0
+    assert "unknown workloads" in result.stderr
+
+
+def test_trajectory_tracks_new_hot_paths():
+    """The recorded trajectory must carry the Lloyd and merge-reduce rows
+    with the speedups the optimization claims."""
+    payload = json.loads(TRAJECTORY.read_text())
+    by_component = {}
+    for workload in payload["workloads"]:
+        by_component.setdefault(workload["component"], []).append(workload)
+    assert "lloyd" in by_component
+    assert "merge_reduce" in by_component
+    assert any(w["speedup"] >= 2.0 for w in by_component["lloyd"])
+    assert any(w["speedup"] >= 2.0 for w in by_component["merge_reduce"])

@@ -1,0 +1,109 @@
+"""Exact-equivalence suite: pruned Lloyd vs the frozen naive reference.
+
+The contract of :mod:`repro.clustering.lloyd` is that the Hamerly-bounded
+engine may only *skip* work whose outcome is provably unchanged, so every
+observable output — assignments, centers, costs, iteration counts,
+convergence flags, and the consumption of the random generator (exercised by
+the empty-cluster repair path) — must be **bit-identical** to the frozen
+full-recompute loop in :mod:`repro.reference.naive_lloyd`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.clustering.lloyd import kmeans
+from repro.data.synthetic import gaussian_mixture
+from repro.reference.naive_lloyd import naive_kmeans
+
+SHAPES = [(400, 2, 3), (1500, 8, 12), (1000, 3, 25), (600, 16, 7), (800, 5, 40)]
+
+
+def _assert_bit_identical(result, reference):
+    assert np.array_equal(result.assignment, reference.assignment)
+    assert np.array_equal(result.centers, reference.centers)
+    assert result.cost == reference.cost
+    assert result.iterations == reference.iterations
+    assert result.converged == reference.converged
+
+
+class TestPrunedEquivalence:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_bit_identical_across_seeds_and_shapes(self, seed, shape):
+        n, d, k = shape
+        points = gaussian_mixture(
+            n=n, d=d, n_clusters=max(2, k // 2), gamma=float(seed % 3), seed=seed
+        ).points
+        pruned = kmeans(points, k, seed=seed, max_iterations=40)
+        naive = naive_kmeans(points, k, seed=seed, max_iterations=40)
+        _assert_bit_identical(pruned, naive)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_bit_identical_with_weights(self, seed):
+        points = gaussian_mixture(n=900, d=6, n_clusters=5, gamma=1.0, seed=seed).points
+        weights = np.random.default_rng(seed).uniform(0.05, 4.0, points.shape[0])
+        pruned = kmeans(points, 11, weights=weights, seed=seed, max_iterations=40)
+        naive = naive_kmeans(points, 11, weights=weights, seed=seed, max_iterations=40)
+        _assert_bit_identical(pruned, naive)
+
+    def test_bit_identical_through_empty_cluster_reseed(self):
+        """Duplicate far-away initial centers force the multi-empty repair path."""
+        points = np.random.default_rng(0).normal(size=(300, 4))
+        initial = np.full((6, 4), 1e6)
+        initial[0] = 0.0
+        pruned = kmeans(points, 6, initial_centers=initial, seed=3, max_iterations=30)
+        naive = naive_kmeans(points, 6, initial_centers=initial, seed=3, max_iterations=30)
+        _assert_bit_identical(pruned, naive)
+        # The repair must actually have fired: every final center is finite
+        # and populated (no center left stranded at 1e6).
+        assert np.abs(pruned.centers).max() < 1e5
+
+    def test_bit_identical_k1_and_k_ge_n(self):
+        points = np.random.default_rng(1).normal(size=(120, 3))
+        for k in (1, 2, 120):
+            _assert_bit_identical(
+                kmeans(points, k, seed=7, max_iterations=20),
+                naive_kmeans(points, k, seed=7, max_iterations=20),
+            )
+
+    def test_naive_algorithm_flag_matches_reference(self):
+        points = gaussian_mixture(n=700, d=4, n_clusters=6, gamma=0.0, seed=2).points
+        live_naive = kmeans(points, 9, seed=4, algorithm="naive", max_iterations=30)
+        frozen = naive_kmeans(points, 9, seed=4, max_iterations=30)
+        _assert_bit_identical(live_naive, frozen)
+
+    def test_unknown_algorithm_rejected(self):
+        points = np.random.default_rng(0).normal(size=(50, 2))
+        with pytest.raises(ValueError, match="algorithm"):
+            kmeans(points, 3, algorithm="elkan", seed=0)
+
+    def test_pruning_actually_prunes(self):
+        """The equivalence would be vacuous if the engine always recomputed."""
+        points = gaussian_mixture(n=4000, d=8, n_clusters=10, gamma=0.0, seed=5).points
+        result = kmeans(points, 20, seed=5, max_iterations=40)
+        assert result.recompute_fraction < 0.7
+        assert naive_kmeans(points, 20, seed=5, max_iterations=40).recompute_fraction == 1.0
+
+
+class TestReseedDistinctness:
+    def test_multiple_empty_clusters_reseed_distinct_points(self):
+        """Satellite fix: two empty clusters must not re-seed at the same point.
+
+        With ``replace=True`` the two far-away duplicates could both be
+        re-seeded at the same heavy point, leaving one of them empty again on
+        the next iteration; without replacement the re-seeded centers differ.
+        """
+        from repro.clustering.lloyd import lloyd_iteration
+
+        rng = np.random.default_rng(11)
+        points = np.concatenate(
+            [rng.normal(size=(50, 2)), rng.normal(loc=50.0, size=(50, 2))]
+        )
+        weights = np.ones(points.shape[0])
+        centers = np.full((4, 2), 1e7)
+        centers[0] = 0.0
+        for trial in range(20):
+            updated = lloyd_iteration(points, centers, weights, np.random.default_rng(trial))
+            reseeded = updated[1:]
+            distinct = {tuple(row) for row in np.round(reseeded, 12)}
+            assert len(distinct) == reseeded.shape[0]
