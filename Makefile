@@ -1,19 +1,25 @@
 # Developer entry points.  `make test` is the tier-1 gate (includes the
-# slow-marked bench-check smoke); `make bench` refreshes the hot-path perf
-# trajectory and fails (without overwriting BENCH_hotpaths.json) when any
-# tracked workload regressed by more than 20%; `make bench-check` replays
-# the tracked workloads at reduced repeats and fails on the same >20%
-# regression guard without ever rewriting the JSON.
+# slow-marked bench-check smoke); `make test-parallel` runs only the
+# process-pool / shared-memory tests (marked `parallel`; deselect them with
+# `-m "not parallel"` on runners without working multiprocessing); `make
+# bench` refreshes the hot-path perf trajectory and fails (without
+# overwriting BENCH_hotpaths.json) when any tracked workload regressed by
+# more than 20%; `make bench-check` replays the tracked workloads at
+# reduced repeats and fails on the same >20% regression guard without ever
+# rewriting the JSON.
 
 PYTHON ?= python
 
-.PHONY: test test-fast bench bench-check
+.PHONY: test test-fast test-parallel bench bench-check
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
 test-fast:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q -m "not slow"
+
+test-parallel:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q -m parallel
 
 bench:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_perf_hotpaths.py --check-regression

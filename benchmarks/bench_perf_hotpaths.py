@@ -27,6 +27,12 @@ Measured components per ``(n, d, k)`` workload:
 * ``merge_reduce_streamkm`` — one StreamKM++ coreset-tree reduction
   (batched envelope draws + incremental assignment vs sequential seeding +
   a second full distance block).
+* ``parallel_shard`` — sharded Fast-Coreset construction through the
+  parallel execution engine: the shared-memory process backend at the
+  row's worker count (the ``k`` column) vs the serial executor on the same
+  fixed shard layout.  Both sides produce bit-identical coresets, so the
+  ratio times pure execution overhead/speedup; the achievable speedup is
+  capped by the machine's core count (a single-core CI box records ~1x).
 
 Usage::
 
@@ -53,6 +59,7 @@ from repro.clustering.lloyd import kmeans
 from repro.core.fast_coreset import FastCoreset
 from repro.data.synthetic import gaussian_mixture
 from repro.geometry.quadtree import QuadtreeEmbedding
+from repro.parallel import ProcessExecutor, SerialExecutor, ShardedCoresetBuilder
 from repro.reference.naive_lloyd import naive_kmeans
 from repro.reference.seed_hotpath import SeedQuadtreeEmbedding, seed_fast_kmeans_plus_plus
 from repro.reference.seed_streaming import (
@@ -69,6 +76,15 @@ DEFAULT_OUTPUT = REPO_ROOT / "BENCH_hotpaths.json"
 #: Refuse to record a run where any tracked workload got this much slower.
 REGRESSION_TOLERANCE = 0.20
 
+#: Per-component overrides of the guard tolerance.  The ``parallel_shard``
+#: ratio divides a process-pool wall-clock by a serial one, so OS scheduling
+#: jitter hits only its numerator: on a busy or single-core runner the
+#: best-of-R ratio routinely swings ±50% with zero code change (measured:
+#: 1.24 vs 1.80 across idle/busy runs of an identical build).  The wide
+#: tolerance keeps the rows guarded against catastrophic regressions (a
+#: doubled ratio) without turning scheduler noise into a red gate.
+COMPONENT_TOLERANCE = {"parallel_shard": 1.00}
+
 #: Lloyd workloads run up to this many iterations with tolerance 0 (the
 #: library's default ``max_iterations``) so both engines do an identical —
 #: and realistically long — amount of refinement work.
@@ -77,6 +93,12 @@ LLOYD_ITERATIONS = 50
 #: Streaming workloads: block count of the merge-&-reduce tree and target
 #: size (the paper's ``m = 40k`` default).
 STREAM_BLOCKS = 16
+
+#: Sharded-construction workloads: fixed shard layout and compression
+#: parameters.  The shard count keys the coreset, so every row (any worker
+#: count, either backend) builds the identical compression.
+PARALLEL_SHARDS = 4
+PARALLEL_K = 10
 
 #: (name, n, d, k, component).  The ``quick`` suite is the tracked set every
 #: PR must hold; ``--full`` adds larger sweeps for local investigation.
@@ -90,6 +112,10 @@ QUICK_WORKLOADS = [
     ("lloyd_n20k_d10_k100", 20_000, 10, 100, "lloyd"),
     ("merge_reduce_n40k_d10_k10", 40_000, 10, 10, "merge_reduce"),
     ("merge_reduce_streamkm_n20k_d10_m400", 20_000, 10, 400, "merge_reduce_streamkm"),
+    # The k column carries the process-backend worker count for these rows.
+    ("parallel_shard_n200k_d10_w1", 200_000, 10, 1, "parallel_shard"),
+    ("parallel_shard_n200k_d10_w2", 200_000, 10, 2, "parallel_shard"),
+    ("parallel_shard_n200k_d10_w4", 200_000, 10, 4, "parallel_shard"),
 ]
 FULL_EXTRA = [
     ("fast_kmeans_pp_n100k_d10_k200", 100_000, 10, 200, "fast_kmeans_pp"),
@@ -172,6 +198,18 @@ def run_workload(name: str, n: int, d: int, k: int, component: str, repeats: int
         sampler = StreamKMPlusPlus(coreset_size=m, seed=0)
         optimized = _best_of(lambda: sampler.sample(points, m, seed=2), repeats)
         seed_time = _best_of(lambda: seed_streamkm_reduce(points, weights, m, seed=2), repeats)
+    elif component == "parallel_shard":
+        workers = k  # the k column doubles as the worker count
+        builder = ShardedCoresetBuilder(
+            FastCoreset(k=PARALLEL_K, seed=0),
+            n_shards=PARALLEL_SHARDS,
+            coreset_size_per_shard=40 * PARALLEL_K,
+            seed=3,
+        )
+        process = ProcessExecutor(workers=workers)
+        optimized = _best_of(lambda: builder.build(points, executor=process), repeats)
+        # The "seed" column is the serial baseline of the identical build.
+        seed_time = _best_of(lambda: builder.build(points, executor=SerialExecutor()), repeats)
     else:
         raise ValueError(f"unknown component {component!r}")
     return {
@@ -201,13 +239,14 @@ def check_regression(previous: dict, results: list) -> list:
         old = old_by_name.get(workload["name"])
         if old is None or old.get("seed_seconds", 0) <= 0:
             continue
+        tolerance = COMPONENT_TOLERANCE.get(workload["component"], REGRESSION_TOLERANCE)
         before = old["optimized_seconds"] / old["seed_seconds"]
         after = workload["optimized_seconds"] / workload["seed_seconds"]
-        if after > before * (1.0 + REGRESSION_TOLERANCE):
+        if after > before * (1.0 + tolerance):
             messages.append(
                 f"{workload['name']}: optimized/seed time ratio regressed "
                 f"{before:.3f} -> {after:.3f} (+{(after / before - 1) * 100:.0f}%, "
-                f"tolerance {REGRESSION_TOLERANCE * 100:.0f}%)"
+                f"tolerance {tolerance * 100:.0f}%)"
             )
     return messages
 

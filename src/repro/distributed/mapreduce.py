@@ -12,15 +12,20 @@ single round:
    by composition) and can either re-compress it or solve the clustering
    task on it directly.
 
-The simulation executes the workers sequentially but tracks exactly the
-quantities the MapReduce analysis cares about: per-worker shard sizes,
-message sizes, and total communication.
+By default the simulation executes the workers sequentially (preserving the
+seed-for-seed behaviour of earlier releases); passing an ``executor`` to
+:meth:`MapReduceCoresetAggregator.run` delegates the map phase to the
+parallel execution engine (:mod:`repro.parallel`), which compresses the
+shards concurrently — on the thread or shared-memory process backend — and
+produces bit-identical results at every worker count.  Either way the run
+tracks exactly the quantities the MapReduce analysis cares about:
+per-worker shard sizes, message sizes, and total communication.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Union
 
 import numpy as np
 
@@ -28,6 +33,9 @@ from repro.core.base import CoresetConstruction
 from repro.core.coreset import Coreset, merge_coresets
 from repro.utils.rng import SeedLike, as_generator, random_seed_from
 from repro.utils.validation import check_integer, check_points, check_weights
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.parallel.executor import Executor
 
 
 @dataclass
@@ -48,6 +56,11 @@ class MapReduceRound:
         Total number of floats shipped to the host
         (``sum(message_size * (d + 1))``), the quantity the MapReduce cost
         model charges for.
+    metadata:
+        Free-form diagnostics.  Always records the sampler name under
+        ``"sampler"`` (a string) and the realised worker count under
+        ``"n_workers"``; the executor path adds ``"backend"`` and
+        ``"workers"``.
     """
 
     coreset: Coreset
@@ -55,7 +68,7 @@ class MapReduceRound:
     shard_sizes: List[int]
     message_sizes: List[int]
     communication: int
-    metadata: Dict[str, float] = field(default_factory=dict)
+    metadata: Dict[str, Union[float, str]] = field(default_factory=dict)
 
 
 class MapReduceCoresetAggregator:
@@ -129,8 +142,26 @@ class MapReduceCoresetAggregator:
         points: np.ndarray,
         *,
         weights: Optional[np.ndarray] = None,
+        executor: Union[None, str, "Executor"] = None,
     ) -> MapReduceRound:
-        """Execute the map, shuffle, and reduce phases on ``points``."""
+        """Execute the map, shuffle, and reduce phases on ``points``.
+
+        Parameters
+        ----------
+        points / weights:
+            The dataset to compress.
+        executor:
+            ``None`` (default) keeps the historical sequential simulation,
+            including its RNG stream — existing seeds reproduce exactly.
+            A backend name (``"serial"``, ``"thread"``, ``"process"``) or an
+            :class:`~repro.parallel.executor.Executor` instance runs the map
+            phase through the parallel engine instead: per-shard randomness
+            is then spawn-keyed from the aggregator seed, so the round is
+            bit-identical across backends and worker counts (but differs
+            from the sequential simulation's stream).
+        """
+        if executor is not None:
+            return self._run_with_executor(points, weights, executor)
         points = check_points(points)
         weights = check_weights(weights, points.shape[0])
         generator = as_generator(self.seed)
@@ -172,6 +203,41 @@ class MapReduceCoresetAggregator:
             communication=int(communication),
             metadata={
                 "n_workers": float(len(shards)),
-                "sampler": float(0.0),
+                "sampler": self.sampler.name,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    def _run_with_executor(
+        self,
+        points: np.ndarray,
+        weights: Optional[np.ndarray],
+        executor: Union[str, "Executor"],
+    ) -> MapReduceRound:
+        """The map phase on the parallel engine (spawn-keyed randomness)."""
+        from repro.parallel.sharded import ShardedCoresetBuilder
+
+        builder = ShardedCoresetBuilder(
+            self.sampler,
+            n_shards=self.n_workers,
+            coreset_size_per_shard=self.coreset_size_per_worker,
+            final_coreset_size=self.final_coreset_size,
+            shuffle=True,
+            seed=self.seed,
+        )
+        build = builder.build(points, weights=weights, executor=executor)
+        coreset = build.coreset
+        coreset.method = f"mapreduce[{self.sampler.name}]"
+        return MapReduceRound(
+            coreset=coreset,
+            worker_coresets=build.shard_coresets,
+            shard_sizes=build.shard_sizes,
+            message_sizes=build.message_sizes,
+            communication=build.communication,
+            metadata={
+                "n_workers": float(len(build.shard_sizes)),
+                "sampler": self.sampler.name,
+                "backend": build.backend,
+                "workers": float(build.workers),
             },
         )

@@ -1,0 +1,43 @@
+"""Parallel execution engine: pluggable executors and sharded construction.
+
+The subsystem has three layers:
+
+* :mod:`repro.parallel.executor` — the :class:`Executor` contract and its
+  serial / thread / shared-memory process backends;
+* :mod:`repro.parallel.sharding` — deterministic partitioning and the
+  spawn-keyed per-shard seed derivation;
+* :mod:`repro.parallel.sharded` — :class:`ShardedCoresetBuilder`, the
+  multi-core front door that the MapReduce aggregator, the streaming
+  pipeline, and the CLI plug into.
+
+The invariant every consumer relies on: the executor choice changes
+wall-clock time only — coresets are bit-identical across backends and
+worker counts for a fixed seed.
+"""
+
+from repro.parallel.executor import (
+    BACKENDS,
+    ArrayPayload,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    resolve_executor,
+)
+from repro.parallel.sharded import ShardedBuildResult, ShardedCoresetBuilder
+from repro.parallel.sharding import ShardTask, compress_shard, shard_bounds
+
+__all__ = [
+    "BACKENDS",
+    "ArrayPayload",
+    "Executor",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "resolve_executor",
+    "ShardedBuildResult",
+    "ShardedCoresetBuilder",
+    "ShardTask",
+    "compress_shard",
+    "shard_bounds",
+]

@@ -22,15 +22,28 @@ and the harness built on this module reproduces that comparison.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.core.base import CoresetConstruction
 from repro.core.coreset import Coreset, merge_coresets
 from repro.geometry.quadtree import compute_spread
+from repro.parallel.executor import ArrayPayload, Executor, resolve_executor
+from repro.parallel.sharding import (
+    KEY_STREAM_LEAF,
+    KEY_STREAM_REDUCE,
+    ShardTask,
+    compress_shard,
+)
 from repro.streaming.stream import Block, DataStream
-from repro.utils.rng import SeedLike, as_generator, random_seed_from
+from repro.utils.rng import (
+    SeedLike,
+    as_generator,
+    as_seed_sequence,
+    keyed_seed_sequence,
+    random_seed_from,
+)
 from repro.utils.validation import check_integer
 
 
@@ -69,6 +82,17 @@ class MergeReduceTree:
         established box), so the periodic resync bounds how long such a
         stream can run on an underestimate; at the default interval the
         amortised cost of the (blocked) estimate stays negligible.
+    spawn_seeds:
+        Seed-derivation mode.  ``False`` (default) draws one seed per
+        compression from a sequential generator — the historical behaviour,
+        reproduced bit-for-bit.  ``True`` derives spawn-keyed seeds instead:
+        leaf ``i`` compresses under the child sequence keyed by the block
+        index, reduce ``j`` under the child keyed by the reduction index, so
+        the final coreset is a pure function of the seed and the block
+        sequence — independent of batching, executor backend, and worker
+        count.  This is the mode :meth:`add_blocks` (concurrent leaf
+        compression) requires, and what the streaming pipeline enables when
+        it is given an executor.
 
     Attributes
     ----------
@@ -92,6 +116,7 @@ class MergeReduceTree:
     reductions: int = 0
     blocks_seen: int = 0
     spread_refreshes: int = 0
+    spawn_seeds: bool = False
 
     def __post_init__(self) -> None:
         self.coreset_size = check_integer(self.coreset_size, name="coreset_size")
@@ -101,6 +126,7 @@ class MergeReduceTree:
         # shifts the per-compression seed stream: with a hint-agnostic
         # sampler the two modes produce identical coresets.
         self._spread_generator = as_generator(random_seed_from(self._generator))
+        self._spawn_root = as_seed_sequence(self.seed) if self.spawn_seeds else None
         self._bounds_low: Optional[np.ndarray] = None
         self._bounds_high: Optional[np.ndarray] = None
         self._cached_spread: Optional[float] = None
@@ -150,8 +176,104 @@ class MergeReduceTree:
             spread=self._spread_hint(points),
         )
 
+    # ---------------------------------------------------- spawn-keyed mode
+    def _leaf_seed(self, block_index: int) -> np.random.SeedSequence:
+        return keyed_seed_sequence(self._spawn_root, KEY_STREAM_LEAF, block_index)
+
+    def _reduce_seed(self, reduce_index: int) -> np.random.SeedSequence:
+        return keyed_seed_sequence(self._spawn_root, KEY_STREAM_REDUCE, reduce_index)
+
+    def _fold(self, current: Coreset, spread_hint: Optional[float]) -> None:
+        """Carry-propagate one leaf up the tree (spawn-keyed reduce seeds).
+
+        Reduce compressions reuse the spread hint of the leaf that triggered
+        them (they compress a merge of coresets *of blocks already observed*,
+        so the hint is equally valid) — a deliberate choice that keeps every
+        stochastic input a pure function of the block sequence, never of how
+        leaves were batched across executor workers.
+        """
+        level = 0
+        while level in self.levels:
+            partner = self.levels.pop(level)
+            merged = merge_coresets([partner, current])
+            m = min(self.coreset_size, merged.points.shape[0])
+            current = self.sampler.sample(
+                merged.points,
+                m,
+                weights=merged.weights,
+                seed=self._reduce_seed(self.reductions),
+                spread=spread_hint,
+            )
+            self.reductions += 1
+            level += 1
+        self.levels[level] = current
+
+    def add_blocks(
+        self,
+        blocks: Iterable[Block],
+        *,
+        executor: Union[None, str, Executor] = None,
+    ) -> None:
+        """Consume a batch of blocks, compressing the leaves concurrently.
+
+        Requires ``spawn_seeds=True``.  The host walks the batch in arrival
+        order — updating the bounding box, the spread cache, and the leaf
+        seed assignment exactly as the one-block-at-a-time path would — then
+        fans the (now fully determined) leaf compressions out to the
+        executor and folds the results back in arrival order.  The batch is
+        stacked into one payload so the process backend ships each leaf as
+        offsets into shared memory rather than pickled blocks.
+        """
+        if not self.spawn_seeds:
+            raise ValueError(
+                "add_blocks requires spawn_seeds=True: concurrent leaf compression "
+                "is only deterministic under spawn-keyed seed derivation"
+            )
+        executor = resolve_executor(executor)
+        prepared = []
+        for points, weights in blocks:
+            points = np.asarray(points, dtype=np.float64)
+            if weights is None:
+                weights = np.ones(points.shape[0], dtype=np.float64)
+            leaf_index = self.blocks_seen
+            self.blocks_seen += 1
+            if self.share_stream_state and points.shape[0]:
+                self._observe(points)
+            prepared.append(
+                (points, weights, self._spread_hint(points), self._leaf_seed(leaf_index))
+            )
+        if not prepared:
+            return
+        tasks = []
+        start = 0
+        for index, (points, _, hint, seed) in enumerate(prepared):
+            stop = start + points.shape[0]
+            tasks.append(
+                ShardTask(
+                    index=index,
+                    start=start,
+                    stop=stop,
+                    m=self.coreset_size,
+                    sampler=self.sampler,
+                    seed=seed,
+                    spread=hint,
+                )
+            )
+            start = stop
+        payload = ArrayPayload(
+            points=np.concatenate([points for points, *_ in prepared], axis=0),
+            weights=np.concatenate([weights for _, weights, *_ in prepared], axis=0),
+        )
+        leaves = executor.map(compress_shard, tasks, payload=payload)
+        for leaf, (_, _, hint, _) in zip(leaves, prepared):
+            self._fold(leaf, hint)
+
+    # ------------------------------------------------------------------
     def add_block(self, points: np.ndarray, weights: Optional[np.ndarray] = None) -> None:
         """Consume one block of the stream."""
+        if self.spawn_seeds:
+            self.add_blocks([(points, weights)])
+            return
         if weights is None:
             weights = np.ones(points.shape[0], dtype=np.float64)
         self.blocks_seen += 1
@@ -179,7 +301,16 @@ class MergeReduceTree:
         else:
             combined = merge_coresets(survivors)
         if combined.size > self.coreset_size:
-            final = self._compress(combined.points, combined.weights)
+            if self.spawn_seeds:
+                final = self.sampler.sample(
+                    combined.points,
+                    min(self.coreset_size, combined.points.shape[0]),
+                    weights=combined.weights,
+                    seed=self._reduce_seed(self.reductions),
+                    spread=self._cached_spread if self.share_stream_state else None,
+                )
+            else:
+                final = self._compress(combined.points, combined.weights)
             self.reductions += 1
         else:
             final = combined
@@ -190,6 +321,20 @@ class MergeReduceTree:
 @dataclass
 class StreamingCoresetPipeline:
     """End-to-end streaming compression with a black-box sampler.
+
+    Parameters
+    ----------
+    executor:
+        ``None`` (default) consumes the stream one block at a time with the
+        historical sequential seed stream.  A backend name or an
+        :class:`~repro.parallel.executor.Executor` switches the tree to
+        spawn-keyed seeds and compresses arriving leaves concurrently in
+        batches; the resulting coreset is bit-identical across backends,
+        worker counts, and batch sizes (but differs from the sequential
+        stream's, whose seeds depend on draw order).
+    batch_size:
+        Number of blocks buffered per concurrent batch; defaults to the
+        executor's worker count.  Affects wall-clock only, never the result.
 
     Examples
     --------
@@ -208,6 +353,8 @@ class StreamingCoresetPipeline:
     coreset_size: int
     seed: SeedLike = None
     share_stream_state: bool = True
+    executor: Union[None, str, Executor] = None
+    batch_size: Optional[int] = None
 
     def _tree(self) -> MergeReduceTree:
         return MergeReduceTree(
@@ -215,20 +362,35 @@ class StreamingCoresetPipeline:
             coreset_size=self.coreset_size,
             seed=self.seed,
             share_stream_state=self.share_stream_state,
+            spawn_seeds=self.executor is not None,
         )
+
+    def _consume(self, tree: MergeReduceTree, stream: Iterable[Block]) -> None:
+        if self.executor is None:
+            for points, weights in stream:
+                tree.add_block(points, weights)
+            return
+        executor = resolve_executor(self.executor)
+        batch_size = self.batch_size if self.batch_size is not None else max(1, executor.workers)
+        batch: List[Block] = []
+        for block in stream:
+            batch.append(block)
+            if len(batch) >= batch_size:
+                tree.add_blocks(batch, executor=executor)
+                batch = []
+        if batch:
+            tree.add_blocks(batch, executor=executor)
 
     def run(self, stream: Iterable[Block]) -> Coreset:
         """Process every block of ``stream`` and return the final compression."""
         tree = self._tree()
-        for points, weights in stream:
-            tree.add_block(points, weights)
+        self._consume(tree, stream)
         return tree.finalize()
 
     def run_with_statistics(self, stream: Iterable[Block]) -> Tuple[Coreset, Dict[str, float]]:
         """Run and also report tree statistics (blocks, reductions, total weight)."""
         tree = self._tree()
-        for points, weights in stream:
-            tree.add_block(points, weights)
+        self._consume(tree, stream)
         coreset = tree.finalize()
         statistics = {
             "blocks": float(tree.blocks_seen),

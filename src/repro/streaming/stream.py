@@ -21,6 +21,41 @@ from repro.utils.validation import check_integer, check_points, check_weights
 Block = Tuple[np.ndarray, np.ndarray]
 
 
+def _is_memmap_backed(array: np.ndarray) -> bool:
+    """True when ``array`` is (a view chain over) a :class:`numpy.memmap`."""
+    base = array
+    while base is not None:
+        if isinstance(base, np.memmap):
+            return True
+        base = getattr(base, "base", None)
+    return False
+
+
+def _check_stream_points(points: np.ndarray) -> np.ndarray:
+    """Validate stream points without defeating a memory-mapped backing.
+
+    For in-memory arrays this is :func:`check_points`.  For memmap-backed
+    arrays the finiteness scan is skipped: reading every page of the file
+    (and allocating an ``n*d``-byte boolean temporary) at construction time
+    is exactly what the "never hold the full dataset" contract forbids.
+    Shape and dtype are still checked; non-finite values surface when the
+    offending block reaches a consumer, every one of which re-validates the
+    blocks it is handed.
+    """
+    if isinstance(points, np.ndarray) and _is_memmap_backed(points):
+        if points.ndim != 2:
+            raise ValueError(f"points must be 2-dimensional, got shape {points.shape}")
+        if points.shape[0] == 0:
+            raise ValueError("points must contain at least one element")
+        if points.dtype != np.float64:
+            raise ValueError(
+                f"memory-mapped points must be float64, got {points.dtype}; "
+                "converting would materialise the dataset"
+            )
+        return points
+    return check_points(points)
+
+
 def iterate_blocks(
     points: np.ndarray,
     block_size: int,
@@ -45,7 +80,7 @@ def iterate_blocks(
     seed:
         Randomness for the shuffle.
     """
-    points = check_points(points)
+    points = _check_stream_points(points)
     n = points.shape[0]
     block_size = check_integer(block_size, name="block_size")
     weights = check_weights(weights, n)
@@ -84,7 +119,7 @@ class DataStream:
     seed: SeedLike = None
 
     def __post_init__(self) -> None:
-        self.points = check_points(self.points)
+        self.points = _check_stream_points(self.points)
         self.weights = check_weights(self.weights, self.points.shape[0])
         self.block_size = check_integer(self.block_size, name="block_size")
 
@@ -111,6 +146,68 @@ class DataStream:
     def dimension(self) -> int:
         """Dimensionality of the streamed points."""
         return int(self.points.shape[1])
+
+    @classmethod
+    def from_npy(
+        cls,
+        path: str,
+        block_size: int,
+        *,
+        weights: Optional[np.ndarray] = None,
+        shuffle: bool = False,
+        seed: SeedLike = None,
+        mmap_mode: str = "r",
+    ) -> "DataStream":
+        """Stream an on-disk ``.npy`` dataset without materialising it.
+
+        The backing array is opened with ``np.load(..., mmap_mode="r")``, so
+        only the rows of the block currently being consumed are ever copied
+        into memory — the OS pages the rest in and out on demand.  This is
+        what makes the "never hold the full dataset" docstring contract real
+        for datasets larger than RAM, and it is the natural input for the
+        sharded builder's ``shuffle=False`` mode (a random permutation would
+        touch every page).
+
+        The file must store a two-dimensional ``float64`` array: any other
+        dtype would force :func:`numpy.asarray` to materialise a converted
+        copy, silently breaking the contract, so it is rejected instead
+        (convert once offline with ``array.astype(np.float64)``).  For the
+        same reason the usual construction-time finiteness scan is skipped
+        for memory-mapped data — a NaN in the file surfaces when the block
+        containing it reaches a consumer, which re-validates its input.
+
+        Parameters
+        ----------
+        path:
+            Path to the ``.npy`` file.
+        block_size:
+            Rows per block.
+        weights / shuffle / seed:
+            As for the in-memory constructor.  Note that ``shuffle=True``
+            permutes *arrival order* only (blocks are gathered row sets), but
+            gathering randomly scattered rows defeats sequential read-ahead —
+            prefer pre-shuffled files for large datasets.
+        mmap_mode:
+            Forwarded to :func:`numpy.load`; the read-only default is what
+            the streaming contract expects.
+        """
+        points = np.load(path, mmap_mode=mmap_mode)
+        if points.ndim != 2:
+            raise ValueError(
+                f"{path!r} must store a 2-dimensional point array, got shape {points.shape}"
+            )
+        if points.dtype != np.float64:
+            raise ValueError(
+                f"{path!r} stores dtype {points.dtype}; from_npy requires float64 — "
+                "converting lazily would materialise the dataset, defeating mmap"
+            )
+        return cls(
+            points=points,
+            block_size=block_size,
+            weights=weights,
+            shuffle=shuffle,
+            seed=seed,
+        )
 
     @classmethod
     def with_block_count(

@@ -60,6 +60,49 @@ def spawn_generators(seed: SeedLike, count: int) -> Sequence[np.random.Generator
     return [np.random.default_rng(child) for child in sequence.spawn(count)]
 
 
+def as_seed_sequence(seed: SeedLike = None) -> np.random.SeedSequence:
+    """Return a :class:`numpy.random.SeedSequence` for ``seed``.
+
+    This is the root of the library's *spawn-keyed* determinism: the parallel
+    execution engine derives per-shard (and per-block) child sequences from
+    one root sequence with :func:`keyed_seed_sequence`, so the randomness a
+    unit of work receives is a pure function of the user seed and the unit's
+    index — never of the executor backend, the worker count, or the
+    completion order.
+
+    A ``Generator`` seed is consumed statefully (one integer is drawn to form
+    the root entropy), matching the convention of :func:`spawn_generators`;
+    ``None`` yields fresh OS entropy, i.e. a non-reproducible run, exactly as
+    it does for :func:`as_generator`.
+    """
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    if isinstance(seed, np.random.Generator):
+        return np.random.SeedSequence(random_seed_from(seed))
+    if seed is None or isinstance(seed, (int, np.integer)):
+        return np.random.SeedSequence(None if seed is None else int(seed))
+    raise TypeError(
+        f"seed must be None, an int, a SeedSequence or a Generator, got {type(seed)!r}"
+    )
+
+
+def keyed_seed_sequence(base: np.random.SeedSequence, *key: int) -> np.random.SeedSequence:
+    """Derive a child sequence of ``base`` addressed by an explicit key path.
+
+    ``SeedSequence.spawn`` derives children by appending a *counter* to the
+    spawn key, which ties the child's identity to how many spawns happened
+    before it.  Addressing children by an explicit integer key path instead
+    (``keyed_seed_sequence(base, namespace, index)``) keeps the derivation
+    stateless: shard ``i`` receives the same child no matter how many other
+    shards exist or in which order they are processed, which is what makes
+    coresets bit-identical across executor backends and worker counts.
+    """
+    return np.random.SeedSequence(
+        entropy=base.entropy,
+        spawn_key=tuple(base.spawn_key) + tuple(int(part) for part in key),
+    )
+
+
 def random_seed_from(generator: np.random.Generator) -> int:
     """Draw a fresh integer seed from ``generator``.
 

@@ -112,3 +112,105 @@ class TestCli:
         output = str(tmp_path / "coreset.npz")
         code = main(["compress", data_file, "--k", "5", "--m", "80", "--z", "1", "--output", output])
         assert code == 0
+
+
+class TestCliParallel:
+    @pytest.fixture
+    def data_file(self, tmp_path, blobs):
+        path = tmp_path / "data.npy"
+        np.save(path, blobs)
+        return str(path)
+
+    def test_sharded_compress_reports_execution(self, data_file, tmp_path, capsys):
+        output = str(tmp_path / "coreset.npz")
+        code = main(
+            ["compress", data_file, "--k", "5", "--m", "100", "--output", output,
+             "--shards", "4", "--seed", "2"]
+        )
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["shards"] == 4
+        assert summary["backend"] == "serial"
+        assert summary["coreset_points"] == 100
+        assert summary["communication_floats"] > 0
+        assert np.load(output)["points"].shape == (100, 8)
+
+    def test_backend_changes_nothing_but_wallclock(self, data_file, tmp_path, capsys):
+        # Fixed --shards + --seed must give byte-identical archives no
+        # matter the backend or worker count.
+        archives = []
+        for backend, workers in (("serial", 1), ("thread", 3)):
+            output = str(tmp_path / f"{backend}.npz")
+            code = main(
+                ["compress", data_file, "--k", "5", "--m", "100", "--output", output,
+                 "--shards", "4", "--seed", "2", "--backend", backend,
+                 "--workers", str(workers)]
+            )
+            assert code == 0
+            capsys.readouterr()
+            archives.append(np.load(output))
+        assert np.array_equal(archives[0]["points"], archives[1]["points"])
+        assert np.array_equal(archives[0]["weights"], archives[1]["weights"])
+
+    @pytest.mark.parallel
+    def test_process_backend_matches_serial(self, data_file, tmp_path, capsys):
+        outputs = []
+        for backend, workers in (("serial", 1), ("process", 2)):
+            output = str(tmp_path / f"{backend}.npz")
+            code = main(
+                ["compress", data_file, "--k", "5", "--m", "100", "--output", output,
+                 "--shards", "4", "--seed", "2", "--backend", backend,
+                 "--workers", str(workers)]
+            )
+            assert code == 0
+            summary = json.loads(capsys.readouterr().out)
+            assert summary["backend"] == backend
+            outputs.append(np.load(output))
+        assert np.array_equal(outputs[0]["points"], outputs[1]["points"])
+        assert np.array_equal(outputs[0]["weights"], outputs[1]["weights"])
+
+    def test_workers_default_shard_count(self, data_file, tmp_path, capsys):
+        output = str(tmp_path / "coreset.npz")
+        code = main(
+            ["compress", data_file, "--k", "5", "--m", "100", "--output", output,
+             "--backend", "thread", "--workers", "2"]
+        )
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["shards"] == 2  # defaults to --workers
+        assert summary["backend"] == "thread"
+
+    def test_backend_alone_keeps_the_plain_path(self, data_file, tmp_path, capsys):
+        # shards defaults to 1 here, so only --shards/--seed may key the
+        # result: a lone --backend flag must not change the bytes.
+        archives = []
+        for extra in ([], ["--backend", "thread"]):
+            output = str(tmp_path / f"plain{len(extra)}.npz")
+            code = main(
+                ["compress", data_file, "--k", "5", "--m", "100", "--output", output,
+                 "--seed", "2", *extra]
+            )
+            assert code == 0
+            summary = json.loads(capsys.readouterr().out)
+            assert summary["shards"] == 1
+            assert summary["backend"] == "serial"
+            archives.append(np.load(output))
+        assert np.array_equal(archives[0]["points"], archives[1]["points"])
+        assert np.array_equal(archives[0]["weights"], archives[1]["weights"])
+
+    @pytest.mark.parallel
+    def test_workers_alone_default_to_process_backend(self, data_file, tmp_path, capsys):
+        output = str(tmp_path / "coreset.npz")
+        code = main(
+            ["compress", data_file, "--k", "5", "--m", "100", "--output", output,
+             "--workers", "2"]
+        )
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["backend"] == "process"
+        assert summary["workers"] == 2
+        assert summary["shards"] == 2
+
+    def test_unknown_backend_rejected(self, data_file):
+        with pytest.raises(SystemExit):
+            main(["compress", data_file, "--k", "5", "--backend", "gpu"])

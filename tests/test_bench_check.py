@@ -68,3 +68,10 @@ def test_trajectory_tracks_new_hot_paths():
     assert "merge_reduce" in by_component
     assert any(w["speedup"] >= 2.0 for w in by_component["lloyd"])
     assert any(w["speedup"] >= 2.0 for w in by_component["merge_reduce"])
+    # The parallel engine rows track process-backend scaling at 1/2/4
+    # workers.  Only presence is pinned, not a speedup: the achievable
+    # ratio is a property of the recording machine's core count (a
+    # single-core CI box records ~1x), and the regression guard compares
+    # future runs against whatever this machine honestly measured.
+    assert "parallel_shard" in by_component
+    assert sorted(w["k"] for w in by_component["parallel_shard"]) == [1, 2, 4]

@@ -6,6 +6,7 @@ import pytest
 from repro.core import SensitivitySampling, UniformSampling
 from repro.distributed import MapReduceCoresetAggregator
 from repro.evaluation import coreset_distortion
+from repro.parallel import ProcessExecutor, SerialExecutor, ThreadExecutor
 
 
 class TestMapReduceAggregator:
@@ -86,3 +87,61 @@ class TestMapReduceAggregator:
             MapReduceCoresetAggregator(
                 sampler=UniformSampling(), n_workers=0, coreset_size_per_worker=10
             )
+
+    def test_metadata_records_sampler_name(self, aggregator, blobs):
+        # Regression: this slot used to hold a meaningless float(0.0).
+        result = aggregator.run(blobs)
+        assert result.metadata["sampler"] == "sensitivity"
+        assert result.metadata["n_workers"] == 4.0
+
+
+class TestMapReduceExecutorPath:
+    @pytest.fixture(scope="class")
+    def aggregator(self):
+        return MapReduceCoresetAggregator(
+            sampler=SensitivitySampling(k=6, seed=0),
+            n_workers=4,
+            coreset_size_per_worker=80,
+            seed=0,
+        )
+
+    def test_serial_executor_matches_thread_executor(self, aggregator, blobs):
+        serial = aggregator.run(blobs, executor="serial")
+        threaded = aggregator.run(blobs, executor=ThreadExecutor(workers=3))
+        assert np.array_equal(serial.coreset.points, threaded.coreset.points)
+        assert np.array_equal(serial.coreset.weights, threaded.coreset.weights)
+        assert serial.shard_sizes == threaded.shard_sizes
+        assert serial.communication == threaded.communication
+
+    @pytest.mark.parallel
+    def test_serial_executor_matches_process_executor(self, aggregator, blobs):
+        serial = aggregator.run(blobs, executor=SerialExecutor())
+        process = aggregator.run(blobs, executor=ProcessExecutor(workers=2))
+        assert np.array_equal(serial.coreset.points, process.coreset.points)
+        assert np.array_equal(serial.coreset.weights, process.coreset.weights)
+        assert process.metadata["backend"] == "process"
+        assert process.metadata["workers"] == 2.0
+
+    def test_executor_round_keeps_mapreduce_accounting(self, aggregator, blobs):
+        result = aggregator.run(blobs, executor="serial")
+        assert result.coreset.size == sum(result.message_sizes)
+        assert sum(result.shard_sizes) == blobs.shape[0]
+        assert result.communication == sum(result.message_sizes) * (blobs.shape[1] + 1)
+        assert result.coreset.method == "mapreduce[sensitivity]"
+        assert result.metadata["sampler"] == "sensitivity"
+        assert len(result.worker_coresets) == 4
+
+    def test_executor_union_is_accurate_coreset(self, aggregator, blobs):
+        result = aggregator.run(blobs, executor="serial")
+        assert coreset_distortion(blobs, result.coreset, k=6, seed=2) < 2.0
+
+    def test_final_recompression_with_executor(self, blobs):
+        aggregator = MapReduceCoresetAggregator(
+            sampler=SensitivitySampling(k=5, seed=0),
+            n_workers=4,
+            coreset_size_per_worker=100,
+            final_coreset_size=150,
+            seed=0,
+        )
+        result = aggregator.run(blobs, executor="serial")
+        assert result.coreset.size <= 150

@@ -1,0 +1,146 @@
+"""Unit tests for the executor backends and the sharding primitives.
+
+The task functions live at module level so the process backend can pickle
+them by reference — the same requirement the library's own task functions
+(:func:`repro.parallel.sharding.compress_shard`) satisfy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    BACKENDS,
+    ArrayPayload,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    resolve_executor,
+    shard_bounds,
+)
+
+
+def _slice_total(payload, task):
+    start, stop, scale = task
+    return float(payload.points[start:stop].sum() + scale * payload.weights[start:stop].sum())
+
+
+def _double(payload, task):
+    assert payload is None
+    return task * 2
+
+
+@pytest.fixture(scope="module")
+def payload():
+    rng = np.random.default_rng(0)
+    return ArrayPayload(
+        points=rng.normal(size=(100, 4)),
+        weights=rng.uniform(0.5, 1.5, size=100),
+    )
+
+
+@pytest.fixture(scope="module")
+def tasks():
+    return [(0, 30, 1.0), (30, 60, 2.0), (60, 100, 0.5), (10, 90, 0.0)]
+
+
+class TestShardBounds:
+    def test_bounds_cover_range_in_order(self):
+        bounds = shard_bounds(103, 4)
+        assert bounds[0][0] == 0 and bounds[-1][1] == 103
+        assert all(a_stop == b_start for (_, a_stop), (b_start, _) in zip(bounds, bounds[1:]))
+
+    def test_sizes_differ_by_at_most_one(self):
+        sizes = [stop - start for start, stop in shard_bounds(103, 4)]
+        assert max(sizes) - min(sizes) <= 1
+        assert max(sizes) == int(np.ceil(103 / 4))
+
+    def test_fewer_points_than_shards_drops_empty_tail(self):
+        bounds = shard_bounds(3, 10)
+        assert len(bounds) == 3
+        assert all(stop - start == 1 for start, stop in bounds)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            shard_bounds(0, 4)
+        with pytest.raises(ValueError):
+            shard_bounds(10, 0)
+
+
+class TestSerialAndThread:
+    def test_serial_matches_direct_evaluation(self, payload, tasks):
+        expected = [_slice_total(payload, task) for task in tasks]
+        assert SerialExecutor().map(_slice_total, tasks, payload=payload) == expected
+
+    def test_thread_matches_serial_and_preserves_order(self, payload, tasks):
+        expected = SerialExecutor().map(_slice_total, tasks, payload=payload)
+        for workers in (1, 2, 3, 8):
+            assert (
+                ThreadExecutor(workers=workers).map(_slice_total, tasks, payload=payload)
+                == expected
+            )
+
+    def test_thread_without_payload(self):
+        assert ThreadExecutor(workers=2).map(_double, [1, 2, 3]) == [2, 4, 6]
+
+    def test_empty_task_list(self, payload):
+        assert SerialExecutor().map(_slice_total, [], payload=payload) == []
+        assert ThreadExecutor(workers=2).map(_slice_total, [], payload=payload) == []
+
+    def test_worker_count_validation(self):
+        with pytest.raises(ValueError):
+            ThreadExecutor(workers=0)
+        with pytest.raises(TypeError):
+            ThreadExecutor(workers=2.5)
+
+
+@pytest.mark.parallel
+class TestProcessExecutor:
+    def test_matches_serial_via_shared_memory(self, payload, tasks):
+        expected = SerialExecutor().map(_slice_total, tasks, payload=payload)
+        for workers in (1, 2, 4):
+            result = ProcessExecutor(workers=workers).map(_slice_total, tasks, payload=payload)
+            assert result == expected
+
+    def test_without_payload(self):
+        assert ProcessExecutor(workers=2).map(_double, [1, 2, 3, 4]) == [2, 4, 6, 8]
+
+    def test_empty_task_list(self, payload):
+        assert ProcessExecutor(workers=2).map(_slice_total, [], payload=payload) == []
+
+    def test_no_shared_memory_segments_leak(self, payload, tasks):
+        from pathlib import Path
+
+        shm_dir = Path("/dev/shm")
+        if not shm_dir.is_dir():
+            pytest.skip("platform exposes no /dev/shm to inspect")
+        before = {entry.name for entry in shm_dir.iterdir()}
+        ProcessExecutor(workers=2).map(_slice_total, tasks, payload=payload)
+        leaked = {
+            entry.name for entry in shm_dir.iterdir() if entry.name.startswith("psm_")
+        } - before
+        assert leaked == set()
+
+
+class TestResolveExecutor:
+    def test_none_and_serial_give_serial(self):
+        assert isinstance(resolve_executor(None), SerialExecutor)
+        assert isinstance(resolve_executor("serial"), SerialExecutor)
+
+    def test_names_build_backends_with_workers(self):
+        thread = resolve_executor("thread", workers=3)
+        assert isinstance(thread, ThreadExecutor) and thread.workers == 3
+        process = resolve_executor("process", workers=2)
+        assert isinstance(process, ProcessExecutor) and process.workers == 2
+
+    def test_instance_passes_through(self):
+        executor = ThreadExecutor(workers=5)
+        assert resolve_executor(executor, workers=1) is executor
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor backend"):
+            resolve_executor("gpu")
+
+    def test_backend_names_are_resolvable(self):
+        for name in BACKENDS:
+            assert isinstance(resolve_executor(name, workers=2), Executor)

@@ -1,0 +1,205 @@
+"""Backend-equivalence suite for the parallel execution engine.
+
+The contract pinned here is the subsystem's design center: for a fixed seed
+and shard count, every executor backend at every worker count produces
+**bit-identical** coresets (points, weights, and metadata), for every
+sampler.  Thread-backend cases run in the default suite; process-pool cases
+carry the ``parallel`` marker so constrained runners can deselect them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import FastCoreset, SensitivitySampling, UniformSampling
+from repro.parallel import (
+    ProcessExecutor,
+    SerialExecutor,
+    ShardedCoresetBuilder,
+    ThreadExecutor,
+)
+from repro.streaming import DataStream, StreamingCoresetPipeline
+
+
+def _make_sampler(name):
+    if name == "uniform":
+        return UniformSampling(seed=0)
+    if name == "sensitivity":
+        return SensitivitySampling(k=5, seed=0)
+    return FastCoreset(k=5, seed=0)
+
+
+SAMPLER_NAMES = ("uniform", "sensitivity", "fast_coreset")
+
+
+def _assert_identical(reference, other, context):
+    assert np.array_equal(reference.coreset.points, other.coreset.points), context
+    assert np.array_equal(reference.coreset.weights, other.coreset.weights), context
+    assert reference.coreset.method == other.coreset.method, context
+    assert reference.shard_sizes == other.shard_sizes, context
+    assert reference.message_sizes == other.message_sizes, context
+    assert reference.communication == other.communication, context
+    assert reference.metadata == other.metadata, context
+
+
+class TestShardedBuilderEquivalence:
+    @pytest.mark.parametrize("sampler_name", SAMPLER_NAMES)
+    @pytest.mark.parametrize("seed", (0, 17))
+    def test_thread_matches_serial_across_worker_counts(self, blobs, sampler_name, seed):
+        builder = ShardedCoresetBuilder(
+            _make_sampler(sampler_name),
+            n_shards=4,
+            coreset_size_per_shard=60,
+            seed=seed,
+        )
+        reference = builder.build(blobs, executor=SerialExecutor())
+        for workers in (1, 2, 3):
+            result = builder.build(blobs, executor=ThreadExecutor(workers=workers))
+            _assert_identical(reference, result, (sampler_name, seed, workers))
+
+    @pytest.mark.parallel
+    @pytest.mark.parametrize("sampler_name", SAMPLER_NAMES)
+    def test_process_matches_serial_across_worker_counts(self, blobs, sampler_name):
+        builder = ShardedCoresetBuilder(
+            _make_sampler(sampler_name),
+            n_shards=4,
+            coreset_size_per_shard=60,
+            seed=5,
+        )
+        reference = builder.build(blobs, executor=SerialExecutor())
+        for workers in (1, 2, 4):
+            result = builder.build(blobs, executor=ProcessExecutor(workers=workers))
+            _assert_identical(reference, result, (sampler_name, workers))
+
+    def test_same_seed_reproduces_and_seeds_differ(self, blobs):
+        builder = ShardedCoresetBuilder(
+            UniformSampling(seed=0), n_shards=3, coreset_size_per_shard=50, seed=1
+        )
+        first = builder.build(blobs)
+        second = builder.build(blobs)
+        assert np.array_equal(first.coreset.points, second.coreset.points)
+        other_seed = ShardedCoresetBuilder(
+            UniformSampling(seed=0), n_shards=3, coreset_size_per_shard=50, seed=2
+        ).build(blobs)
+        assert not np.array_equal(first.coreset.points, other_seed.coreset.points)
+
+
+class TestShardedBuilderBehaviour:
+    def test_round_accounting(self, blobs):
+        builder = ShardedCoresetBuilder(
+            SensitivitySampling(k=5, seed=0), n_shards=4, coreset_size_per_shard=40, seed=0
+        )
+        result = builder.build(blobs)
+        assert sum(result.shard_sizes) == blobs.shape[0]
+        assert result.message_sizes == [40, 40, 40, 40]
+        assert result.coreset.size == 160
+        assert result.communication == 160 * (blobs.shape[1] + 1)
+        assert result.metadata["sampler"] == "sensitivity"
+        assert result.metadata["n_shards"] == 4.0
+        assert result.backend == "serial" and result.workers == 1
+
+    def test_final_recompression_bounds_size(self, blobs):
+        builder = ShardedCoresetBuilder(
+            UniformSampling(seed=0),
+            n_shards=4,
+            coreset_size_per_shard=80,
+            final_coreset_size=100,
+            seed=0,
+        )
+        result = builder.build(blobs)
+        assert result.coreset.size == 100
+        assert result.message_sizes == [80, 80, 80, 80]
+
+    def test_total_weight_approximately_preserved(self, blobs, rng):
+        weights = rng.uniform(0.5, 1.5, size=blobs.shape[0])
+        builder = ShardedCoresetBuilder(
+            UniformSampling(seed=0), n_shards=3, coreset_size_per_shard=60, seed=0
+        )
+        result = builder.build(blobs, weights=weights)
+        assert result.coreset.total_weight == pytest.approx(weights.sum(), rel=0.2)
+
+    def test_shuffle_false_keeps_input_order_shards(self, blobs):
+        builder = ShardedCoresetBuilder(
+            UniformSampling(seed=0),
+            n_shards=2,
+            coreset_size_per_shard=30,
+            shuffle=False,
+            seed=0,
+        )
+        result = builder.build(blobs)
+        half = blobs.shape[0] // 2
+        first_shard_rows = {tuple(row) for row in blobs[:half]}
+        shard_coreset_rows = {tuple(row) for row in result.shard_coresets[0].points}
+        assert shard_coreset_rows <= first_shard_rows
+
+    def test_more_shards_than_points(self):
+        points = np.random.default_rng(0).normal(size=(6, 3))
+        builder = ShardedCoresetBuilder(
+            UniformSampling(seed=0), n_shards=10, coreset_size_per_shard=2, seed=0
+        )
+        result = builder.build(points)
+        assert len(result.shard_sizes) == 6
+        assert result.coreset.size == 6
+
+    def test_worker_count_never_keys_the_result(self, blobs):
+        # The documented contract: n_shards keys the coreset, workers do not.
+        builder = ShardedCoresetBuilder(
+            FastCoreset(k=5, seed=0), n_shards=5, coreset_size_per_shard=40, seed=9
+        )
+        one = builder.build(blobs, executor=ThreadExecutor(workers=1))
+        many = builder.build(blobs, executor=ThreadExecutor(workers=5))
+        _assert_identical(one, many, "workers=1 vs workers=5")
+
+
+class TestStreamingExecutorEquivalence:
+    def _run(self, blobs, sampler, executor, batch_size=None, seed=13):
+        pipeline = StreamingCoresetPipeline(
+            sampler=sampler,
+            coreset_size=50,
+            seed=seed,
+            executor=executor,
+            batch_size=batch_size,
+        )
+        stream = DataStream(points=blobs, block_size=150)
+        return pipeline.run_with_statistics(stream)
+
+    @pytest.mark.parametrize("sampler_name", SAMPLER_NAMES)
+    def test_batching_and_threads_never_change_the_coreset(self, blobs, sampler_name):
+        sampler = _make_sampler(sampler_name)
+        reference, reference_stats = self._run(blobs, sampler, SerialExecutor(), batch_size=1)
+        for executor, batch_size in (
+            (SerialExecutor(), 4),
+            (ThreadExecutor(workers=2), None),
+            (ThreadExecutor(workers=3), 5),
+        ):
+            coreset, stats = self._run(blobs, sampler, executor, batch_size)
+            assert np.array_equal(reference.points, coreset.points), sampler_name
+            assert np.array_equal(reference.weights, coreset.weights), sampler_name
+            assert stats == reference_stats, sampler_name
+
+    @pytest.mark.parallel
+    def test_process_backend_matches_serial(self, blobs):
+        sampler = FastCoreset(k=5, seed=0)
+        reference, reference_stats = self._run(blobs, sampler, SerialExecutor(), batch_size=1)
+        coreset, stats = self._run(blobs, sampler, ProcessExecutor(workers=2))
+        assert np.array_equal(reference.points, coreset.points)
+        assert np.array_equal(reference.weights, coreset.weights)
+        assert stats == reference_stats
+
+    def test_legacy_sequential_path_untouched_by_new_fields(self, blobs):
+        # executor=None must keep the historical draw-order seed stream:
+        # the result matches a pipeline constructed without the new fields.
+        sampler = UniformSampling(seed=0)
+        stream = DataStream(points=blobs, block_size=150)
+        legacy = StreamingCoresetPipeline(sampler=sampler, coreset_size=50, seed=3).run(stream)
+        explicit = StreamingCoresetPipeline(
+            sampler=sampler, coreset_size=50, seed=3, executor=None, batch_size=None
+        ).run(DataStream(points=blobs, block_size=150))
+        assert np.array_equal(legacy.points, explicit.points)
+        assert np.array_equal(legacy.weights, explicit.weights)
+
+    def test_add_blocks_requires_spawn_seeds(self, blobs):
+        from repro.streaming import MergeReduceTree
+
+        tree = MergeReduceTree(sampler=UniformSampling(seed=0), coreset_size=40, seed=0)
+        with pytest.raises(ValueError, match="spawn_seeds"):
+            tree.add_blocks([(blobs[:100], None)])

@@ -53,6 +53,80 @@ class TestDataStream:
         assert len(list(stream)) == len(list(stream))
 
 
+class TestDataStreamFromNpy:
+    @pytest.fixture
+    def npy_file(self, tmp_path, blobs):
+        path = tmp_path / "dataset.npy"
+        np.save(path, blobs)
+        return str(path)
+
+    def test_blocks_match_in_memory_stream(self, npy_file, blobs):
+        disk = list(DataStream.from_npy(npy_file, block_size=200))
+        memory = list(DataStream(points=blobs, block_size=200))
+        assert len(disk) == len(memory)
+        for (disk_points, disk_weights), (mem_points, mem_weights) in zip(disk, memory):
+            assert np.array_equal(disk_points, mem_points)
+            assert np.array_equal(disk_weights, mem_weights)
+
+    def test_backing_array_is_memory_mapped_not_a_copy(self, npy_file):
+        stream = DataStream.from_npy(npy_file, block_size=200)
+        # The stream must hold a view into the mmap, never a materialised
+        # copy — that is the "never hold the full dataset" contract.
+        assert not stream.points.flags.owndata
+        base = stream.points
+        while not isinstance(base, np.memmap) and base.base is not None:
+            base = base.base
+        assert isinstance(base, np.memmap)
+
+    def test_weights_shuffle_and_properties(self, npy_file, blobs, rng):
+        weights = rng.uniform(1, 2, size=blobs.shape[0])
+        stream = DataStream.from_npy(
+            npy_file, block_size=300, weights=weights, shuffle=True, seed=4
+        )
+        assert stream.n_points == blobs.shape[0]
+        assert stream.dimension == blobs.shape[1]
+        total = sum(block_weights.sum() for _, block_weights in stream)
+        assert total == pytest.approx(weights.sum())
+
+    def test_construction_defers_finiteness_to_consumption(self, tmp_path, blobs):
+        # A construction-time NaN scan would read (and temporarily allocate
+        # 1/8th of) the whole file, defeating mmap; the contract is that the
+        # bad value surfaces when its block reaches a validating consumer.
+        corrupted = blobs.copy()
+        corrupted[700, 2] = np.nan
+        path = tmp_path / "nan.npy"
+        np.save(path, corrupted)
+        stream = DataStream.from_npy(str(path), block_size=200)  # must not raise
+        blocks = list(stream)
+        assert any(np.isnan(points).any() for points, _ in blocks)
+        pipeline = StreamingCoresetPipeline(
+            sampler=UniformSampling(seed=0), coreset_size=60, seed=0
+        )
+        with pytest.raises(ValueError, match="NaN"):
+            pipeline.run(stream)
+
+    def test_non_float64_file_rejected(self, tmp_path, blobs):
+        path = tmp_path / "f32.npy"
+        np.save(path, blobs.astype(np.float32))
+        with pytest.raises(ValueError, match="float64"):
+            DataStream.from_npy(str(path), block_size=100)
+
+    def test_non_2d_file_rejected(self, tmp_path):
+        path = tmp_path / "flat.npy"
+        np.save(path, np.arange(10.0))
+        with pytest.raises(ValueError, match="2-dimensional"):
+            DataStream.from_npy(str(path), block_size=5)
+
+    def test_feeds_the_streaming_pipeline(self, npy_file, blobs):
+        pipeline = StreamingCoresetPipeline(
+            sampler=UniformSampling(seed=0), coreset_size=60, seed=0
+        )
+        from_disk = pipeline.run(DataStream.from_npy(npy_file, block_size=250))
+        in_memory = pipeline.run(DataStream(points=blobs, block_size=250))
+        assert np.array_equal(from_disk.points, in_memory.points)
+        assert np.array_equal(from_disk.weights, in_memory.weights)
+
+
 class TestMergeReduce:
     def test_final_coreset_size_bounded(self, blobs):
         pipeline = StreamingCoresetPipeline(sampler=UniformSampling(seed=0), coreset_size=120, seed=0)
