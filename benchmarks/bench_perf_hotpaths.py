@@ -33,6 +33,14 @@ Measured components per ``(n, d, k)`` workload:
   fixed shard layout.  Both sides produce bit-identical coresets, so the
   ratio times pure execution overhead/speedup; the achievable speedup is
   capped by the machine's core count (a single-core CI box records ~1x).
+* ``async_stream`` — the overlapped streaming pipeline (double-buffered
+  prefetch, async executor at the row's worker count: the serial inline
+  backend at workers=1 — the CLI's one-worker default — and the persistent
+  thread pool beyond) vs the synchronous serial-executor pipeline on the
+  identical spawn-keyed stream.  The two produce bit-identical coresets,
+  so the ratio times the async machinery itself: at workers=1 it must not
+  fall below ~1x (the acceptance gate — overlap may not cost anything),
+  and extra workers add whatever the GIL releases (nothing on one core).
 
 Usage::
 
@@ -59,7 +67,13 @@ from repro.clustering.lloyd import kmeans
 from repro.core.fast_coreset import FastCoreset
 from repro.data.synthetic import gaussian_mixture
 from repro.geometry.quadtree import QuadtreeEmbedding
-from repro.parallel import ProcessExecutor, SerialExecutor, ShardedCoresetBuilder
+from repro.parallel import (
+    ProcessExecutor,
+    SerialAsyncExecutor,
+    SerialExecutor,
+    ShardedCoresetBuilder,
+    ThreadAsyncExecutor,
+)
 from repro.reference.naive_lloyd import naive_kmeans
 from repro.reference.seed_hotpath import SeedQuadtreeEmbedding, seed_fast_kmeans_plus_plus
 from repro.reference.seed_streaming import (
@@ -67,7 +81,8 @@ from repro.reference.seed_streaming import (
     seed_stream_coreset,
     seed_streamkm_reduce,
 )
-from repro.streaming.merge_reduce import stream_dataset
+from repro.streaming.merge_reduce import StreamingCoresetPipeline, stream_dataset
+from repro.streaming.stream import DataStream
 from repro.streaming.streamkm import StreamKMPlusPlus
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -83,7 +98,11 @@ REGRESSION_TOLERANCE = 0.20
 #: 1.24 vs 1.80 across idle/busy runs of an identical build).  The wide
 #: tolerance keeps the rows guarded against catastrophic regressions (a
 #: doubled ratio) without turning scheduler noise into a red gate.
-COMPONENT_TOLERANCE = {"parallel_shard": 1.00}
+#: ``async_stream`` divides two pipeline wall-clocks whose difference is a
+#: handful of thread hand-offs, so scheduler jitter dominates the same way;
+#: the widened guard still catches a genuinely broken overlap (a doubled
+#: ratio) without gating on noise.
+COMPONENT_TOLERANCE = {"parallel_shard": 1.00, "async_stream": 1.00}
 
 #: Lloyd workloads run up to this many iterations with tolerance 0 (the
 #: library's default ``max_iterations``) so both engines do an identical —
@@ -116,6 +135,9 @@ QUICK_WORKLOADS = [
     ("parallel_shard_n200k_d10_w1", 200_000, 10, 1, "parallel_shard"),
     ("parallel_shard_n200k_d10_w2", 200_000, 10, 2, "parallel_shard"),
     ("parallel_shard_n200k_d10_w4", 200_000, 10, 4, "parallel_shard"),
+    # The k column carries the async worker count for these rows.
+    ("async_stream_n40k_d10_w1", 40_000, 10, 1, "async_stream"),
+    ("async_stream_n40k_d10_w2", 40_000, 10, 2, "async_stream"),
 ]
 FULL_EXTRA = [
     ("fast_kmeans_pp_n100k_d10_k200", 100_000, 10, 200, "fast_kmeans_pp"),
@@ -198,6 +220,43 @@ def run_workload(name: str, n: int, d: int, k: int, component: str, repeats: int
         sampler = StreamKMPlusPlus(coreset_size=m, seed=0)
         optimized = _best_of(lambda: sampler.sample(points, m, seed=2), repeats)
         seed_time = _best_of(lambda: seed_streamkm_reduce(points, weights, m, seed=2), repeats)
+    elif component == "async_stream":
+        workers = k  # the k column doubles as the async worker count
+        m = 40 * PARALLEL_K
+        sampler = FastCoreset(k=PARALLEL_K, seed=0)
+
+        def _run_async_stream() -> None:
+            # workers=1 is the CLI's default async configuration: leaves
+            # compress inline while the reader thread prefetches; the
+            # thread pool only enters the picture with real concurrency.
+            executor = (
+                SerialAsyncExecutor()
+                if workers == 1
+                else ThreadAsyncExecutor(workers=workers)
+            )
+            try:
+                StreamingCoresetPipeline(
+                    sampler=sampler,
+                    coreset_size=m,
+                    seed=1,
+                    executor=executor,
+                    prefetch_batches=2,
+                ).run(DataStream.with_block_count(points, STREAM_BLOCKS))
+            finally:
+                executor.close()
+
+        def _run_sync_stream() -> None:
+            # The "seed" column is the synchronous serial-executor pipeline
+            # on the identical spawn-keyed stream (bit-identical output).
+            StreamingCoresetPipeline(
+                sampler=sampler,
+                coreset_size=m,
+                seed=1,
+                executor=SerialExecutor(),
+            ).run(DataStream.with_block_count(points, STREAM_BLOCKS))
+
+        optimized = _best_of(_run_async_stream, repeats)
+        seed_time = _best_of(_run_sync_stream, repeats)
     elif component == "parallel_shard":
         workers = k  # the k column doubles as the worker count
         builder = ShardedCoresetBuilder(

@@ -2,8 +2,11 @@
 
 The subsystem has three layers:
 
-* :mod:`repro.parallel.executor` — the :class:`Executor` contract and its
-  serial / thread / shared-memory process backends;
+* :mod:`repro.parallel.executor` — the synchronous :class:`Executor` and
+  asynchronous :class:`AsyncExecutor` contracts with their serial / thread /
+  shared-memory process backends (the process backends ship shards as
+  offsets into shared memory; the async process backend keeps a persistent
+  pool with attach-once segment reuse);
 * :mod:`repro.parallel.sharding` — deterministic partitioning and the
   spawn-keyed per-shard seed derivation;
 * :mod:`repro.parallel.sharded` — :class:`ShardedCoresetBuilder`, the
@@ -11,17 +14,24 @@ The subsystem has three layers:
   pipeline, and the CLI plug into.
 
 The invariant every consumer relies on: the executor choice changes
-wall-clock time only — coresets are bit-identical across backends and
-worker counts for a fixed seed.
+wall-clock time only — coresets are bit-identical across backends, worker
+counts, completion orders, and prefetch depths for a fixed seed.  See
+``README.md`` in this package for the seed protocol that makes overlapped
+execution safe.
 """
 
 from repro.parallel.executor import (
     BACKENDS,
     ArrayPayload,
+    AsyncExecutor,
     Executor,
+    ProcessAsyncExecutor,
     ProcessExecutor,
+    SerialAsyncExecutor,
     SerialExecutor,
+    ThreadAsyncExecutor,
     ThreadExecutor,
+    resolve_async_executor,
     resolve_executor,
 )
 from repro.parallel.sharded import ShardedBuildResult, ShardedCoresetBuilder
@@ -30,10 +40,15 @@ from repro.parallel.sharding import ShardTask, compress_shard, shard_bounds
 __all__ = [
     "BACKENDS",
     "ArrayPayload",
+    "AsyncExecutor",
     "Executor",
+    "ProcessAsyncExecutor",
     "ProcessExecutor",
+    "SerialAsyncExecutor",
     "SerialExecutor",
+    "ThreadAsyncExecutor",
     "ThreadExecutor",
+    "resolve_async_executor",
     "resolve_executor",
     "ShardedBuildResult",
     "ShardedCoresetBuilder",

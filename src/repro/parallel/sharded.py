@@ -19,7 +19,12 @@ import numpy as np
 
 from repro.core.base import CoresetConstruction
 from repro.core.coreset import Coreset, merge_coresets
-from repro.parallel.executor import ArrayPayload, Executor, resolve_executor
+from repro.parallel.executor import (
+    ArrayPayload,
+    AsyncExecutor,
+    Executor,
+    resolve_executor,
+)
 from repro.parallel.sharding import (
     KEY_FINAL,
     KEY_PARTITION,
@@ -146,9 +151,12 @@ class ShardedCoresetBuilder:
         points / weights:
             The dataset; weights default to one per point.
         executor:
-            ``None`` (serial), a backend name, or an
-            :class:`~repro.parallel.executor.Executor` instance.  Changes
-            only wall-clock, never the coreset.
+            ``None`` (serial), a backend name, an
+            :class:`~repro.parallel.executor.Executor`, or an
+            :class:`~repro.parallel.executor.AsyncExecutor` instance.  An
+            async executor overlaps the host-side fold with the still-running
+            shard compressions (see :meth:`_collect_async`).  Changes only
+            wall-clock, never the coreset.
         spread:
             Optional precomputed spread estimate forwarded to every shard's
             sampler (the PR 2 sharing hook): one host-side estimate can
@@ -156,7 +164,9 @@ class ShardedCoresetBuilder:
         """
         points = check_points(points)
         weights = check_weights(weights, points.shape[0])
-        executor = resolve_executor(executor)
+        owns_executor = not isinstance(executor, (Executor, AsyncExecutor))
+        if not isinstance(executor, AsyncExecutor):
+            executor = resolve_executor(executor)
         root = as_seed_sequence(self.seed)
 
         n = points.shape[0]
@@ -184,7 +194,14 @@ class ShardedCoresetBuilder:
             for index, (start, stop) in enumerate(bounds)
         ]
         payload = ArrayPayload(points=shard_points, weights=shard_weights)
-        shard_coresets = executor.map(compress_shard, tasks, payload=payload)
+        try:
+            if isinstance(executor, AsyncExecutor):
+                shard_coresets = self._collect_async(executor, tasks, payload)
+            else:
+                shard_coresets = executor.map(compress_shard, tasks, payload=payload)
+        finally:
+            if owns_executor:
+                executor.close()
 
         union = merge_coresets(shard_coresets, method=f"sharded[{self.sampler.name}]")
         if self.final_coreset_size is not None and union.size > self.final_coreset_size:
@@ -201,13 +218,16 @@ class ShardedCoresetBuilder:
 
         message_sizes = [message.size for message in shard_coresets]
         communication = sum(size * (points.shape[1] + 1) for size in message_sizes)
+        backend = executor.name
+        if isinstance(executor, AsyncExecutor):
+            backend = f"async+{executor.name}"
         return ShardedBuildResult(
             coreset=coreset,
             shard_coresets=shard_coresets,
             shard_sizes=[stop - start for start, stop in bounds],
             message_sizes=message_sizes,
             communication=int(communication),
-            backend=executor.name,
+            backend=backend,
             workers=executor.workers,
             metadata={
                 "sampler": self.sampler.name,
@@ -215,3 +235,31 @@ class ShardedCoresetBuilder:
                 "shuffle": float(self.shuffle),
             },
         )
+
+    @staticmethod
+    def _collect_async(
+        executor: AsyncExecutor,
+        tasks: List[ShardTask],
+        payload: ArrayPayload,
+    ) -> List[Coreset]:
+        """Collect shard messages as they complete, assembling in shard order.
+
+        Shard compressions finish in whatever order the pool schedules them;
+        ``map_unordered`` hands each one to the host the moment it lands
+        (unpickled off the worker immediately, never buffered behind a
+        slower earlier shard) and the ordered prefix is assembled as earlier
+        shards arrive.  The union concatenation and the final
+        re-compression still need *every* shard, so they run after the loop
+        — what the as-completed walk buys is draining results eagerly and
+        keeping the door open for backends where returning a result frees
+        worker-side resources.  Because assembly is by shard index and each
+        shard's randomness is spawn-keyed by that index, completion order
+        cannot influence a single byte of the result.
+        """
+        landed: List[Optional[Coreset]] = [None] * len(tasks)
+        ordered: List[Coreset] = []
+        for index, message in executor.map_unordered(compress_shard, tasks, payload=payload):
+            landed[index] = message
+            while len(ordered) < len(landed) and landed[len(ordered)] is not None:
+                ordered.append(landed[len(ordered)])
+        return ordered

@@ -21,15 +21,25 @@ and the harness built on this module reproduces that comparison.
 
 from __future__ import annotations
 
+import queue
+import threading
+from collections import deque
+from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from typing import Deque, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.core.base import CoresetConstruction
 from repro.core.coreset import Coreset, merge_coresets
 from repro.geometry.quadtree import compute_spread
-from repro.parallel.executor import ArrayPayload, Executor, resolve_executor
+from repro.parallel.executor import (
+    ArrayPayload,
+    AsyncExecutor,
+    Executor,
+    resolve_async_executor,
+    resolve_executor,
+)
 from repro.parallel.sharding import (
     KEY_STREAM_LEAF,
     KEY_STREAM_REDUCE,
@@ -93,6 +103,13 @@ class MergeReduceTree:
         count.  This is the mode :meth:`add_blocks` (concurrent leaf
         compression) requires, and what the streaming pipeline enables when
         it is given an executor.
+    pending_limit:
+        Bound on the number of *unfolded* leaf futures the tree may hold
+        when driven by an :class:`~repro.parallel.executor.AsyncExecutor`
+        (the overlap window).  ``None`` folds everything a batch submitted
+        before :meth:`add_blocks` returns — no overlap across batches.  The
+        limit changes memory and wall-clock only: folds always happen in
+        arrival order, so the coreset is independent of it.
 
     Attributes
     ----------
@@ -117,9 +134,13 @@ class MergeReduceTree:
     blocks_seen: int = 0
     spread_refreshes: int = 0
     spawn_seeds: bool = False
+    pending_limit: Optional[int] = None
 
     def __post_init__(self) -> None:
         self.coreset_size = check_integer(self.coreset_size, name="coreset_size")
+        #: Leaf compressions submitted to an async executor but not yet
+        #: folded, as ``(future, spread_hint)`` in arrival order.
+        self._pending: Deque[Tuple[Future, Optional[float]]] = deque()
         self._generator = as_generator(self.seed)
         # The spread cache draws from its own derived generator (seeded here
         # unconditionally) so that toggling ``share_stream_state`` never
@@ -210,9 +231,9 @@ class MergeReduceTree:
 
     def add_blocks(
         self,
-        blocks: Iterable[Block],
+        blocks: Iterable[Union[Block, "Future"]],
         *,
-        executor: Union[None, str, Executor] = None,
+        executor: Union[None, str, Executor, AsyncExecutor] = None,
     ) -> None:
         """Consume a batch of blocks, compressing the leaves concurrently.
 
@@ -223,15 +244,32 @@ class MergeReduceTree:
         executor and folds the results back in arrival order.  The batch is
         stacked into one payload so the process backend ships each leaf as
         offsets into shared memory rather than pickled blocks.
+
+        Items of ``blocks`` may be :class:`concurrent.futures.Future`
+        objects resolving to ``(points, weights)`` — the shape an
+        asynchronous reader produces — and are resolved in arrival order,
+        so the stream's identity (and therefore every derived seed) is
+        unchanged.
+
+        With a synchronous :class:`~repro.parallel.executor.Executor` the
+        call blocks until the whole batch is folded.  With an
+        :class:`~repro.parallel.executor.AsyncExecutor` the leaf futures
+        are enqueued instead and folded lazily — immediately down to
+        :attr:`pending_limit` outstanding futures (all of them when the
+        limit is ``None``), the rest by later calls or :meth:`flush` /
+        :meth:`finalize`.  Folds always happen in arrival order, so every
+        scheduling produces the identical tree.
         """
         if not self.spawn_seeds:
             raise ValueError(
                 "add_blocks requires spawn_seeds=True: concurrent leaf compression "
                 "is only deterministic under spawn-keyed seed derivation"
             )
-        executor = resolve_executor(executor)
         prepared = []
-        for points, weights in blocks:
+        for block in blocks:
+            if isinstance(block, Future):
+                block = block.result()
+            points, weights = block
             points = np.asarray(points, dtype=np.float64)
             if weights is None:
                 weights = np.ones(points.shape[0], dtype=np.float64)
@@ -264,9 +302,33 @@ class MergeReduceTree:
             points=np.concatenate([points for points, *_ in prepared], axis=0),
             weights=np.concatenate([weights for _, weights, *_ in prepared], axis=0),
         )
-        leaves = executor.map(compress_shard, tasks, payload=payload)
-        for leaf, (_, _, hint, _) in zip(leaves, prepared):
+        hints = [hint for _, _, hint, _ in prepared]
+        if isinstance(executor, AsyncExecutor):
+            futures = executor.submit_many(compress_shard, tasks, payload=payload)
+            self._pending.extend(zip(futures, hints))
+            self._drain_pending(self.pending_limit)
+            return
+        self.flush()  # earlier async batches must fold before this one
+        owns_executor = not isinstance(executor, Executor)
+        executor = resolve_executor(executor)
+        try:
+            leaves = executor.map(compress_shard, tasks, payload=payload)
+        finally:
+            if owns_executor:
+                executor.close()
+        for leaf, hint in zip(leaves, hints):
             self._fold(leaf, hint)
+
+    def _drain_pending(self, limit: Optional[int]) -> None:
+        """Fold queued leaf futures (oldest first) down to ``limit``."""
+        target = 0 if limit is None else max(0, int(limit))
+        while len(self._pending) > target:
+            future, hint = self._pending.popleft()
+            self._fold(future.result(), hint)
+
+    def flush(self) -> None:
+        """Fold every leaf compression still in flight (arrival order)."""
+        self._drain_pending(None)
 
     # ------------------------------------------------------------------
     def add_block(self, points: np.ndarray, weights: Optional[np.ndarray] = None) -> None:
@@ -293,6 +355,7 @@ class MergeReduceTree:
 
     def finalize(self) -> Coreset:
         """Concatenate the surviving per-level compressions and reduce once more."""
+        self.flush()
         if not self.levels:
             raise ValueError("no blocks were added to the merge-&-reduce tree")
         survivors = [self.levels[level] for level in sorted(self.levels)]
@@ -318,6 +381,58 @@ class MergeReduceTree:
         return final
 
 
+def _iterate_prefetched(stream: Iterable[Block], depth: int) -> Iterator[Block]:
+    """Yield the stream's blocks while a background thread reads ahead.
+
+    Up to ``depth`` blocks are buffered: the reader thread pulls the next
+    blocks from ``stream`` (for a memory-mapped :class:`DataStream` this is
+    where the disk pages are touched) while the consumer compresses the
+    current one — the double-buffering that lets the async pipeline overlap
+    I/O with compute.  Arrival *order* is exactly the stream's, so every
+    seed the tree derives is unchanged.
+    """
+    depth = max(1, check_integer(depth, name="depth"))
+    buffered: "queue.Queue" = queue.Queue(maxsize=depth)
+    sentinel = object()
+    stop = threading.Event()
+    failure: List[BaseException] = []
+
+    def _reader() -> None:
+        try:
+            for block in stream:
+                while not stop.is_set():
+                    try:
+                        buffered.put(block, timeout=0.1)
+                        break
+                    except queue.Full:
+                        continue
+                if stop.is_set():
+                    return
+        except BaseException as error:  # noqa: BLE001 - re-raised by the consumer
+            failure.append(error)
+        finally:
+            while not stop.is_set():
+                try:
+                    buffered.put(sentinel, timeout=0.1)
+                    break
+                except queue.Full:
+                    continue
+
+    thread = threading.Thread(target=_reader, name="repro-prefetch", daemon=True)
+    thread.start()
+    try:
+        while True:
+            item = buffered.get()
+            if item is sentinel:
+                break
+            yield item
+        if failure:
+            raise failure[0]
+    finally:
+        stop.set()
+        thread.join()
+
+
 @dataclass
 class StreamingCoresetPipeline:
     """End-to-end streaming compression with a black-box sampler.
@@ -329,12 +444,24 @@ class StreamingCoresetPipeline:
         historical sequential seed stream.  A backend name or an
         :class:`~repro.parallel.executor.Executor` switches the tree to
         spawn-keyed seeds and compresses arriving leaves concurrently in
-        batches; the resulting coreset is bit-identical across backends,
-        worker counts, and batch sizes (but differs from the sequential
-        stream's, whose seeds depend on draw order).
+        batches; an :class:`~repro.parallel.executor.AsyncExecutor` (or any
+        executor combined with ``prefetch_batches``) additionally *overlaps*
+        the batches — reading batch ``i+1`` from disk while batch ``i``
+        compresses in the pool.  In all spawn-keyed modes the resulting
+        coreset is bit-identical across backends, worker counts, batch
+        sizes, prefetch depths, and completion orders (but differs from the
+        sequential stream's, whose seeds depend on draw order).
     batch_size:
         Number of blocks buffered per concurrent batch; defaults to the
         executor's worker count.  Affects wall-clock only, never the result.
+    prefetch_batches:
+        Depth of the read-ahead window in *batches* (double-buffering is
+        ``1``; the default async depth is 2).  Setting it switches the
+        pipeline to the asynchronous overlapped path even when ``executor``
+        is a name or a synchronous instance (which is then promoted to its
+        async sibling for the duration of the run).  ``None`` with a
+        synchronous executor keeps the blocking per-batch behaviour.
+        Affects wall-clock and memory only, never the result.
 
     Examples
     --------
@@ -353,8 +480,9 @@ class StreamingCoresetPipeline:
     coreset_size: int
     seed: SeedLike = None
     share_stream_state: bool = True
-    executor: Union[None, str, Executor] = None
+    executor: Union[None, str, Executor, AsyncExecutor] = None
     batch_size: Optional[int] = None
+    prefetch_batches: Optional[int] = None
 
     def _tree(self) -> MergeReduceTree:
         return MergeReduceTree(
@@ -362,24 +490,62 @@ class StreamingCoresetPipeline:
             coreset_size=self.coreset_size,
             seed=self.seed,
             share_stream_state=self.share_stream_state,
-            spawn_seeds=self.executor is not None,
+            spawn_seeds=self.executor is not None or self.prefetch_batches is not None,
         )
 
     def _consume(self, tree: MergeReduceTree, stream: Iterable[Block]) -> None:
-        if self.executor is None:
+        if self.executor is None and self.prefetch_batches is None:
             for points, weights in stream:
                 tree.add_block(points, weights)
             return
+        if self.prefetch_batches is not None or isinstance(self.executor, AsyncExecutor):
+            self._consume_async(tree, stream)
+            return
+        owns_executor = not isinstance(self.executor, Executor)
         executor = resolve_executor(self.executor)
-        batch_size = self.batch_size if self.batch_size is not None else max(1, executor.workers)
-        batch: List[Block] = []
-        for block in stream:
-            batch.append(block)
-            if len(batch) >= batch_size:
+        try:
+            batch_size = (
+                self.batch_size if self.batch_size is not None else max(1, executor.workers)
+            )
+            batch: List[Block] = []
+            for block in stream:
+                batch.append(block)
+                if len(batch) >= batch_size:
+                    tree.add_blocks(batch, executor=executor)
+                    batch = []
+            if batch:
                 tree.add_blocks(batch, executor=executor)
-                batch = []
-        if batch:
-            tree.add_blocks(batch, executor=executor)
+        finally:
+            if owns_executor:
+                executor.close()
+
+    def _consume_async(self, tree: MergeReduceTree, stream: Iterable[Block]) -> None:
+        """The overlapped path: prefetch reads, async leaves, lazy folds."""
+        executor = resolve_async_executor(self.executor, workers=1)
+        owns_executor = executor is not self.executor
+        depth = 2 if self.prefetch_batches is None else max(1, int(self.prefetch_batches))
+        batch_size = self.batch_size if self.batch_size is not None else max(1, executor.workers)
+        batch_size = max(1, batch_size)
+        # The overlap window: leaves from up to `depth` batches may be in
+        # flight while the reader thread buffers the same span of blocks.
+        tree.pending_limit = depth * batch_size
+        try:
+            # Process backends fork their workers now, before the prefetch
+            # reader thread exists (fork + threads do not mix).
+            executor.prepare()
+            batch: List[Block] = []
+            for block in _iterate_prefetched(stream, depth * batch_size):
+                batch.append(block)
+                if len(batch) >= batch_size:
+                    tree.add_blocks(batch, executor=executor)
+                    batch = []
+            if batch:
+                tree.add_blocks(batch, executor=executor)
+            tree.flush()
+        finally:
+            tree.pending_limit = None
+            if owns_executor:
+                executor.close()
 
     def run(self, stream: Iterable[Block]) -> Coreset:
         """Process every block of ``stream`` and return the final compression."""

@@ -214,3 +214,63 @@ class TestCliParallel:
     def test_unknown_backend_rejected(self, data_file):
         with pytest.raises(SystemExit):
             main(["compress", data_file, "--k", "5", "--backend", "gpu"])
+
+    def test_async_sharded_build_matches_sync(self, data_file, tmp_path, capsys):
+        # --async reruns the identical spawn-keyed shard seeds through the
+        # persistent-pool async executor: bytes must not move.
+        archives = []
+        for extra in ([], ["--async"]):
+            output = str(tmp_path / f"async{len(extra)}.npz")
+            code = main(
+                ["compress", data_file, "--k", "5", "--m", "100", "--output", output,
+                 "--shards", "4", "--seed", "2", "--backend", "thread",
+                 "--workers", "2", *extra]
+            )
+            assert code == 0
+            summary = json.loads(capsys.readouterr().out)
+            assert summary["backend"] == ("async+thread" if extra else "thread")
+            archives.append(np.load(output))
+        assert np.array_equal(archives[0]["points"], archives[1]["points"])
+        assert np.array_equal(archives[0]["weights"], archives[1]["weights"])
+
+    def test_async_without_shards_rejected(self, data_file, capsys):
+        code = main(["compress", data_file, "--k", "5", "--async"])
+        assert code == 2
+        assert "--async requires" in capsys.readouterr().err
+
+    def test_prefetch_rejects_conflicting_shards(self, data_file, capsys):
+        code = main(
+            ["compress", data_file, "--k", "5", "--prefetch-batches", "2",
+             "--shards", "4"]
+        )
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_prefetch_rejects_non_positive_depth(self, data_file, capsys):
+        code = main(["compress", data_file, "--k", "5", "--prefetch-batches", "0"])
+        assert code == 2
+        assert "at least 1" in capsys.readouterr().err
+
+    def test_prefetch_streaming_invariant_to_depth_and_backend(
+        self, data_file, tmp_path, capsys
+    ):
+        # The overlapped streaming path is keyed by --seed and the block
+        # structure; prefetch depth and backend change wall-clock only.
+        archives = []
+        for label, extra in (
+            ("a", ["--prefetch-batches", "1", "--backend", "serial"]),
+            ("b", ["--prefetch-batches", "4", "--backend", "thread", "--workers", "2"]),
+        ):
+            output = str(tmp_path / f"prefetch_{label}.npz")
+            code = main(
+                ["compress", data_file, "--k", "5", "--m", "100", "--output", output,
+                 "--seed", "2", *extra]
+            )
+            assert code == 0
+            summary = json.loads(capsys.readouterr().out)
+            assert summary["mode"] == "streaming"
+            assert summary["blocks"] == 16
+            assert summary["backend"].startswith("async+")
+            archives.append(np.load(output))
+        assert np.array_equal(archives[0]["points"], archives[1]["points"])
+        assert np.array_equal(archives[0]["weights"], archives[1]["weights"])

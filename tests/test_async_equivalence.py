@@ -1,0 +1,297 @@
+"""Cross-backend equivalence suite for overlapped (async) execution.
+
+This is the acceptance gate of the async execution layer: the streaming
+pipeline and the sharded builder must produce **byte-identical** coresets —
+points, weights, method, and statistics — across
+
+* every backend ({serial, thread, process}),
+* both scheduling contracts ({sync, async}),
+* every worker count ({1, 2, 4}) and prefetch depth ({1, 2, 4}),
+* and every *completion order*, exercised by a deliberately jittered
+  executor that finishes tasks in adversarially shuffled order.
+
+The invariance holds because every stochastic input (spawn-keyed seed,
+spread hint) is fixed in arrival order *before* a task is submitted, and
+results are folded in arrival/shard order regardless of completion order.
+Process-pool cases carry the ``parallel`` marker so constrained runners can
+deselect them.
+"""
+
+import random
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.core import FastCoreset, SensitivitySampling
+from repro.parallel import (
+    AsyncExecutor,
+    ProcessAsyncExecutor,
+    ProcessExecutor,
+    SerialAsyncExecutor,
+    SerialExecutor,
+    ShardedCoresetBuilder,
+    ThreadAsyncExecutor,
+    ThreadExecutor,
+)
+from repro.streaming import DataStream, MergeReduceTree, StreamingCoresetPipeline
+
+BLOCK_SIZE = 120
+CORESET_SIZE = 60
+SEED = 21
+
+
+class JitteredAsyncExecutor(AsyncExecutor):
+    """Adversarial test double: completes tasks in shuffled order.
+
+    Every task runs on a thread pool after a random delay, so futures
+    resolve in an order that has nothing to do with submission order — the
+    harness that proves consumers fold results order-independently.  Only
+    the two backend hooks are implemented; everything else (submit,
+    map, windowed map_unordered) is the shared :class:`AsyncExecutor`
+    machinery, so the contract itself is exercised too.
+    """
+
+    name = "jitter"
+
+    def __init__(self, *, workers: int = 4, seed: int = 0) -> None:
+        super().__init__(workers=workers)
+        self._delays = random.Random(seed)
+        self._pool = ThreadPoolExecutor(max_workers=workers, thread_name_prefix="jitter")
+
+    def _publish(self, payload, references):
+        return payload
+
+    def _submit_task(self, fn, task, handle) -> Future:
+        delay = self._delays.random() * 0.01
+        return self._pool.submit(self._run, fn, handle, task, delay)
+
+    @staticmethod
+    def _run(fn, payload, task, delay):
+        time.sleep(delay)
+        return fn(payload, task)
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+def _make_executor(backend: str, mode: str, workers: int):
+    if mode == "sync":
+        if backend == "serial":
+            return SerialExecutor()
+        if backend == "thread":
+            return ThreadExecutor(workers=workers)
+        return ProcessExecutor(workers=workers)
+    if backend == "serial":
+        return SerialAsyncExecutor()
+    if backend == "thread":
+        return ThreadAsyncExecutor(workers=workers)
+    return ProcessAsyncExecutor(workers=workers)
+
+
+def _run_pipeline(blobs, executor, *, batch_size=None, prefetch=None):
+    pipeline = StreamingCoresetPipeline(
+        sampler=SensitivitySampling(k=5, seed=0),
+        coreset_size=CORESET_SIZE,
+        seed=SEED,
+        executor=executor,
+        batch_size=batch_size,
+        prefetch_batches=prefetch,
+    )
+    return pipeline.run_with_statistics(DataStream(points=blobs, block_size=BLOCK_SIZE))
+
+
+def _grid():
+    cases = []
+    for backend in ("serial", "thread", "process"):
+        marks = [pytest.mark.parallel] if backend == "process" else []
+        worker_counts = (1,) if backend == "serial" else (1, 2, 4)
+        for mode in ("sync", "async"):
+            for workers in worker_counts:
+                for prefetch in (None,) if mode == "sync" else (1, 2, 4):
+                    cases.append(
+                        pytest.param(
+                            backend,
+                            mode,
+                            workers,
+                            prefetch,
+                            id=f"{backend}-{mode}-w{workers}-p{prefetch}",
+                            marks=marks,
+                        )
+                    )
+    return cases
+
+
+class TestStreamingCrossBackend:
+    """The full {backend} x {sync, async} x workers x prefetch grid."""
+
+    @pytest.fixture(scope="class")
+    def baseline(self, blobs):
+        """The synchronous serial (spawn-keyed) reference run."""
+        return _run_pipeline(blobs, SerialExecutor(), batch_size=1)
+
+    @pytest.mark.parametrize("backend,mode,workers,prefetch", _grid())
+    def test_byte_identical_to_sequential_baseline(
+        self, blobs, baseline, backend, mode, workers, prefetch
+    ):
+        reference, reference_stats = baseline
+        executor = _make_executor(backend, mode, workers)
+        try:
+            coreset, stats = _run_pipeline(blobs, executor, prefetch=prefetch)
+        finally:
+            executor.close()
+        context = (backend, mode, workers, prefetch)
+        assert coreset.points.tobytes() == reference.points.tobytes(), context
+        assert coreset.weights.tobytes() == reference.weights.tobytes(), context
+        assert coreset.method == reference.method, context
+        assert stats == reference_stats, context
+
+    @pytest.mark.parametrize("batch_size", (1, 3, 7))
+    @pytest.mark.parametrize("prefetch", (1, 2, 4))
+    def test_prefetch_and_batching_never_interact(self, blobs, baseline, batch_size, prefetch):
+        reference, reference_stats = baseline
+        coreset, stats = _run_pipeline(
+            blobs, ThreadAsyncExecutor(workers=2), batch_size=batch_size, prefetch=prefetch
+        )
+        assert coreset.points.tobytes() == reference.points.tobytes()
+        assert coreset.weights.tobytes() == reference.weights.tobytes()
+        assert stats == reference_stats
+
+
+class TestShuffledCompletionOrder:
+    """The jittered harness: completion order must never reach the bytes."""
+
+    @pytest.mark.parametrize("jitter_seed", range(4))
+    def test_streaming_is_completion_order_independent(self, blobs, jitter_seed):
+        reference, reference_stats = _run_pipeline(blobs, SerialExecutor(), batch_size=1)
+        executor = JitteredAsyncExecutor(workers=4, seed=jitter_seed)
+        try:
+            coreset, stats = _run_pipeline(blobs, executor, batch_size=4, prefetch=3)
+        finally:
+            executor.close()
+        assert coreset.points.tobytes() == reference.points.tobytes()
+        assert coreset.weights.tobytes() == reference.weights.tobytes()
+        assert stats == reference_stats
+
+    @pytest.mark.parametrize("jitter_seed", range(4))
+    def test_sharded_build_is_completion_order_independent(self, blobs, jitter_seed):
+        builder = ShardedCoresetBuilder(
+            FastCoreset(k=5, seed=0),
+            n_shards=6,
+            coreset_size_per_shard=40,
+            final_coreset_size=100,
+            seed=9,
+        )
+        reference = builder.build(blobs, executor=SerialExecutor())
+        executor = JitteredAsyncExecutor(workers=4, seed=jitter_seed)
+        try:
+            result = builder.build(blobs, executor=executor)
+        finally:
+            executor.close()
+        assert result.coreset.points.tobytes() == reference.coreset.points.tobytes()
+        assert result.coreset.weights.tobytes() == reference.coreset.weights.tobytes()
+        assert result.message_sizes == reference.message_sizes
+        assert result.communication == reference.communication
+        assert result.metadata == reference.metadata
+        assert result.backend == "async+jitter"
+
+
+class TestShardedAsyncBackends:
+    def _builds(self, blobs, executor):
+        builder = ShardedCoresetBuilder(
+            SensitivitySampling(k=5, seed=0),
+            n_shards=4,
+            coreset_size_per_shard=60,
+            seed=5,
+        )
+        reference = builder.build(blobs, executor=SerialExecutor())
+        try:
+            result = builder.build(blobs, executor=executor)
+        finally:
+            executor.close()
+        return reference, result
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            pytest.param(lambda: SerialAsyncExecutor(), id="serial"),
+            pytest.param(lambda: ThreadAsyncExecutor(workers=3), id="thread"),
+            pytest.param(
+                lambda: ProcessAsyncExecutor(workers=2),
+                id="process",
+                marks=pytest.mark.parallel,
+            ),
+        ],
+    )
+    def test_async_backends_match_serial_accounting(self, blobs, factory):
+        reference, result = self._builds(blobs, factory())
+        assert result.coreset.points.tobytes() == reference.coreset.points.tobytes()
+        assert result.coreset.weights.tobytes() == reference.coreset.weights.tobytes()
+        assert result.shard_sizes == reference.shard_sizes
+        assert result.message_sizes == reference.message_sizes
+        assert result.communication == reference.communication
+        assert result.metadata == reference.metadata
+
+
+class TestTreeFutureInputs:
+    """``add_blocks`` accepts future-valued blocks and bounded pending folds."""
+
+    def _blocks(self, blobs):
+        return [
+            (blobs[start : start + BLOCK_SIZE], None)
+            for start in range(0, blobs.shape[0], BLOCK_SIZE)
+        ]
+
+    def _finalize(self, blobs, blocks, *, executor=None, pending_limit=None):
+        tree = MergeReduceTree(
+            sampler=SensitivitySampling(k=5, seed=0),
+            coreset_size=CORESET_SIZE,
+            seed=SEED,
+            spawn_seeds=True,
+            pending_limit=pending_limit,
+        )
+        for start in range(0, len(blocks), 4):
+            tree.add_blocks(blocks[start : start + 4], executor=executor)
+        return tree.finalize(), tree
+
+    def test_future_blocks_match_plain_blocks(self, blobs):
+        blocks = self._blocks(blobs)
+        reference, _ = self._finalize(blobs, blocks)
+        with ThreadPoolExecutor(max_workers=2) as reader:
+            future_blocks = [reader.submit(lambda block=block: block) for block in blocks]
+            result, _ = self._finalize(blobs, future_blocks)
+        assert result.points.tobytes() == reference.points.tobytes()
+        assert result.weights.tobytes() == reference.weights.tobytes()
+
+    @pytest.mark.parametrize("pending_limit", (None, 1, 3, 16))
+    def test_pending_limit_changes_nothing(self, blobs, pending_limit):
+        blocks = self._blocks(blobs)
+        reference, reference_tree = self._finalize(blobs, blocks)
+        executor = ThreadAsyncExecutor(workers=2)
+        try:
+            result, tree = self._finalize(
+                blobs, blocks, executor=executor, pending_limit=pending_limit
+            )
+        finally:
+            executor.close()
+        assert not tree._pending
+        assert result.points.tobytes() == reference.points.tobytes()
+        assert result.weights.tobytes() == reference.weights.tobytes()
+        assert tree.reductions == reference_tree.reductions
+        assert tree.spread_refreshes == reference_tree.spread_refreshes
+
+    def test_pending_futures_respect_limit_between_batches(self, blobs):
+        blocks = self._blocks(blobs)
+        tree = MergeReduceTree(
+            sampler=SensitivitySampling(k=5, seed=0),
+            coreset_size=CORESET_SIZE,
+            seed=SEED,
+            spawn_seeds=True,
+            pending_limit=2,
+        )
+        executor = SerialAsyncExecutor()
+        tree.add_blocks(blocks[:6], executor=executor)
+        assert len(tree._pending) == 2
+        tree.flush()
+        assert not tree._pending

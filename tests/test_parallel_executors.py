@@ -5,16 +5,24 @@ them by reference — the same requirement the library's own task functions
 (:func:`repro.parallel.sharding.compress_shard`) satisfy.
 """
 
+import os
+from pathlib import Path
+
 import numpy as np
 import pytest
 
 from repro.parallel import (
     BACKENDS,
     ArrayPayload,
+    AsyncExecutor,
     Executor,
+    ProcessAsyncExecutor,
     ProcessExecutor,
+    SerialAsyncExecutor,
     SerialExecutor,
+    ThreadAsyncExecutor,
     ThreadExecutor,
+    resolve_async_executor,
     resolve_executor,
     shard_bounds,
 )
@@ -28,6 +36,30 @@ def _slice_total(payload, task):
 def _double(payload, task):
     assert payload is None
     return task * 2
+
+
+def _worker_pid(payload, task):
+    return os.getpid()
+
+
+def _fail_on_first(payload, task):
+    if task == 0:
+        raise RuntimeError("task 0 failed")
+    return task
+
+
+def _shared_segment_names():
+    """The resource-tracker-visible shared-memory names on this host.
+
+    ``multiprocessing.shared_memory`` registers every created segment with
+    the resource tracker under its ``psm_``-prefixed name, which on Linux is
+    exactly the file that appears in ``/dev/shm`` — so the directory listing
+    is the observable the leak assertions compare.
+    """
+    shm_dir = Path("/dev/shm")
+    if not shm_dir.is_dir():
+        pytest.skip("platform exposes no /dev/shm to inspect")
+    return {entry.name for entry in shm_dir.iterdir() if entry.name.startswith("psm_")}
 
 
 @pytest.fixture(scope="module")
@@ -99,27 +131,191 @@ class TestProcessExecutor:
     def test_matches_serial_via_shared_memory(self, payload, tasks):
         expected = SerialExecutor().map(_slice_total, tasks, payload=payload)
         for workers in (1, 2, 4):
-            result = ProcessExecutor(workers=workers).map(_slice_total, tasks, payload=payload)
-            assert result == expected
+            with ProcessExecutor(workers=workers) as executor:
+                assert executor.map(_slice_total, tasks, payload=payload) == expected
 
     def test_without_payload(self):
-        assert ProcessExecutor(workers=2).map(_double, [1, 2, 3, 4]) == [2, 4, 6, 8]
+        with ProcessExecutor(workers=2) as executor:
+            assert executor.map(_double, [1, 2, 3, 4]) == [2, 4, 6, 8]
 
     def test_empty_task_list(self, payload):
-        assert ProcessExecutor(workers=2).map(_slice_total, [], payload=payload) == []
+        with ProcessExecutor(workers=2) as executor:
+            assert executor.map(_slice_total, [], payload=payload) == []
 
-    def test_no_shared_memory_segments_leak(self, payload, tasks):
-        from pathlib import Path
+    def test_closed_executor_rejects_map(self, payload, tasks):
+        executor = ProcessExecutor(workers=2)
+        executor.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            executor.map(_slice_total, tasks, payload=payload)
 
-        shm_dir = Path("/dev/shm")
-        if not shm_dir.is_dir():
-            pytest.skip("platform exposes no /dev/shm to inspect")
-        before = {entry.name for entry in shm_dir.iterdir()}
-        ProcessExecutor(workers=2).map(_slice_total, tasks, payload=payload)
-        leaked = {
-            entry.name for entry in shm_dir.iterdir() if entry.name.startswith("psm_")
-        } - before
-        assert leaked == set()
+    def test_fresh_pool_escape_hatch_matches(self, payload, tasks):
+        expected = SerialExecutor().map(_slice_total, tasks, payload=payload)
+        executor = ProcessExecutor(workers=2, fresh_pool=True)
+        assert executor.map(_slice_total, tasks, payload=payload) == expected
+        # Nothing persists on this path: no pool, no pooled segments.
+        assert executor._persistent is None
+
+    def test_no_shared_memory_segments_leak_after_close(self, payload, tasks):
+        before = _shared_segment_names()
+        with ProcessExecutor(workers=2) as executor:
+            executor.map(_slice_total, tasks, payload=payload)
+        assert _shared_segment_names() - before == set()
+
+    def test_fresh_pool_leaks_nothing_per_call(self, payload, tasks):
+        before = _shared_segment_names()
+        ProcessExecutor(workers=2, fresh_pool=True).map(_slice_total, tasks, payload=payload)
+        assert _shared_segment_names() - before == set()
+
+
+@pytest.mark.parallel
+class TestPersistentPoolReuse:
+    """The pool-reuse contract: one pool, a constant set of segments."""
+
+    def test_many_small_maps_do_not_grow_segments_or_leak(self):
+        rng = np.random.default_rng(3)
+        payload = ArrayPayload(
+            points=rng.normal(size=(64, 3)), weights=rng.uniform(0.5, 1.5, size=64)
+        )
+        tasks = [(0, 32, 1.0), (32, 64, 0.5)]
+        expected = SerialExecutor().map(_slice_total, tasks, payload=payload)
+        before = _shared_segment_names()
+        with ProcessExecutor(workers=2) as executor:
+            assert executor.map(_slice_total, tasks, payload=payload) == expected
+            # After the first call the segment pool is warm: two segments
+            # (points + weights) that every later call leases and rewrites.
+            warm = _shared_segment_names()
+            assert len(warm - before) <= 2
+            for _ in range(199):
+                assert executor.map(_slice_total, tasks, payload=payload) == expected
+            assert _shared_segment_names() == warm
+        # close() unlinks the pooled segments: nothing tracker-visible left.
+        assert _shared_segment_names() - before == set()
+
+    def test_map_calls_reuse_the_same_worker_processes(self):
+        with ProcessExecutor(workers=2) as executor:
+            pids = set()
+            for _ in range(10):
+                pids.update(executor.map(_worker_pid, [0, 1]))
+            assert len(pids) <= 2
+
+    def test_windowed_early_exit_releases_the_publication(self):
+        # A task exception aborts map_unordered with part of its backlog
+        # never submitted; the unsubmitted references must be forfeited or
+        # the leased segments stay pinned and every later call allocates
+        # fresh ones.
+        rng = np.random.default_rng(5)
+        payload = ArrayPayload(points=rng.normal(size=(32, 2)), weights=np.ones(32))
+        tasks = list(range(8))
+        with ProcessAsyncExecutor(workers=2) as executor:
+            with pytest.raises(RuntimeError, match="task 0 failed"):
+                list(
+                    executor.map_unordered(
+                        _fail_on_first, tasks, payload=payload, window=2
+                    )
+                )
+            warm = _shared_segment_names()
+            for _ in range(3):
+                results = executor.map(_double, [1, 2])
+                assert results == [2, 4]
+                executor.map(
+                    _slice_total, [(0, 16, 1.0)], payload=payload
+                )
+            # The aborted publication's segments were reclaimed, so the
+            # later calls lease them instead of growing the pool.
+            assert _shared_segment_names() == warm
+
+    def test_async_executor_segments_stable_across_calls(self):
+        rng = np.random.default_rng(4)
+        payload = ArrayPayload(
+            points=rng.normal(size=(50, 4)), weights=np.ones(50)
+        )
+        tasks = [(0, 25, 2.0), (25, 50, 1.0)]
+        expected = SerialExecutor().map(_slice_total, tasks, payload=payload)
+        before = _shared_segment_names()
+        with ProcessAsyncExecutor(workers=2) as executor:
+            assert executor.map(_slice_total, tasks, payload=payload) == expected
+            warm = _shared_segment_names()
+            for _ in range(50):
+                results = sorted(
+                    executor.map_unordered(_slice_total, tasks, payload=payload, window=1)
+                )
+                assert [value for _, value in results] == expected
+            assert _shared_segment_names() == warm
+        assert _shared_segment_names() - before == set()
+
+
+class TestAsyncExecutors:
+    def test_serial_async_futures_resolve_inline(self, payload, tasks):
+        executor = SerialAsyncExecutor()
+        future = executor.submit(_slice_total, tasks[0], payload=payload)
+        assert future.done()
+        assert future.result() == _slice_total(payload, tasks[0])
+
+    def test_submit_many_and_map_match_serial(self, payload, tasks):
+        expected = SerialExecutor().map(_slice_total, tasks, payload=payload)
+        with ThreadAsyncExecutor(workers=3) as executor:
+            futures = executor.submit_many(_slice_total, tasks, payload=payload)
+            assert [future.result() for future in futures] == expected
+            assert executor.map(_slice_total, tasks, payload=payload) == expected
+
+    @pytest.mark.parametrize("window", (1, 2, None))
+    def test_map_unordered_yields_every_index_once(self, payload, tasks, window):
+        expected = SerialExecutor().map(_slice_total, tasks, payload=payload)
+        with ThreadAsyncExecutor(workers=4) as executor:
+            pairs = list(
+                executor.map_unordered(_slice_total, tasks, payload=payload, window=window)
+            )
+        assert sorted(index for index, _ in pairs) == list(range(len(tasks)))
+        assert [value for _, value in sorted(pairs)] == expected
+
+    def test_task_errors_propagate_through_futures(self):
+        def boom(payload, task):
+            raise RuntimeError("task failed")
+
+        with pytest.raises(RuntimeError, match="task failed"):
+            SerialAsyncExecutor().submit(boom, 1).result()
+
+    def test_closed_thread_executor_rejects_submission(self):
+        executor = ThreadAsyncExecutor(workers=2)
+        executor.map(_double, [1])
+        executor.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            executor.submit(_double, 2)
+
+    def test_empty_task_list(self, payload):
+        assert SerialAsyncExecutor().map(_slice_total, [], payload=payload) == []
+        assert list(SerialAsyncExecutor().map_unordered(_slice_total, [], payload=payload)) == []
+
+
+class TestResolveAsyncExecutor:
+    def test_none_and_serial_give_serial(self):
+        assert isinstance(resolve_async_executor(None), SerialAsyncExecutor)
+        assert isinstance(resolve_async_executor("serial"), SerialAsyncExecutor)
+
+    def test_names_build_backends_with_workers(self):
+        thread = resolve_async_executor("thread", workers=3)
+        assert isinstance(thread, ThreadAsyncExecutor) and thread.workers == 3
+        process = resolve_async_executor("process", workers=2)
+        assert isinstance(process, ProcessAsyncExecutor) and process.workers == 2
+
+    def test_instance_passes_through(self):
+        executor = ThreadAsyncExecutor(workers=5)
+        assert resolve_async_executor(executor, workers=1) is executor
+
+    def test_sync_instances_promote_to_async_siblings(self):
+        promoted = resolve_async_executor(ThreadExecutor(workers=4))
+        assert isinstance(promoted, ThreadAsyncExecutor) and promoted.workers == 4
+        promoted = resolve_async_executor(ProcessExecutor(workers=3))
+        assert isinstance(promoted, ProcessAsyncExecutor) and promoted.workers == 3
+        assert isinstance(resolve_async_executor(SerialExecutor()), SerialAsyncExecutor)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor backend"):
+            resolve_async_executor("gpu")
+
+    def test_backend_names_are_resolvable(self):
+        for name in BACKENDS:
+            assert isinstance(resolve_async_executor(name, workers=2), AsyncExecutor)
 
 
 class TestResolveExecutor:

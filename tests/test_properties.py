@@ -25,6 +25,8 @@ from repro.core import (
 from repro.core.sensitivity import sensitivity_scores
 from repro.geometry.grid import assign_to_grid, hash_rows, random_grid_shift
 from repro.geometry.quadtree import QuadtreeEmbedding
+from repro.parallel import shard_bounds
+from repro.utils.rng import as_seed_sequence, keyed_seed_sequence
 from repro.utils.weights import weighted_mean, weighted_variance
 
 SETTINGS = settings(
@@ -181,3 +183,74 @@ class TestWeightedStatisticsProperties:
         mean = points.mean(axis=0)
         expected = clustering_cost(points, mean[None, :], z=2)
         assert weighted_variance(points) == pytest.approx(expected, rel=1e-6, abs=1e-6)
+
+
+class TestShardBoundsProperties:
+    """Hypothesis pins the sharding invariants the seed protocol rests on."""
+
+    @SETTINGS
+    @given(n=st.integers(1, 5000), n_shards=st.integers(1, 64))
+    def test_bounds_partition_range_exactly(self, n, n_shards):
+        bounds = shard_bounds(n, n_shards)
+        # Exact, contiguous cover of [0, n): starts at 0, ends at n, each
+        # shard begins where the previous one stopped.
+        assert bounds[0][0] == 0 and bounds[-1][1] == n
+        assert all(
+            previous_stop == start
+            for (_, previous_stop), (start, _) in zip(bounds, bounds[1:])
+        )
+        sizes = [stop - start for start, stop in bounds]
+        assert sum(sizes) == n
+
+    @SETTINGS
+    @given(n=st.integers(1, 5000), n_shards=st.integers(1, 64))
+    def test_bounds_are_nonempty_and_balanced_within_one(self, n, n_shards):
+        sizes = [stop - start for start, stop in shard_bounds(n, n_shards)]
+        assert len(sizes) == min(n, n_shards)
+        assert min(sizes) >= 1
+        assert max(sizes) - min(sizes) <= 1
+        assert max(sizes) == int(np.ceil(n / min(n, n_shards)))
+        # array_split semantics: the extra rows go to the leading shards.
+        assert sizes == sorted(sizes, reverse=True)
+
+
+class TestKeyedSeedProperties:
+    """The spawn-keyed derivation is injective and stateless."""
+
+    @SETTINGS
+    @given(
+        entropy=st.integers(0, 2**63 - 1),
+        keys=st.lists(
+            st.tuples(st.integers(0, 7), st.integers(0, 10_000)),
+            min_size=2,
+            max_size=12,
+            unique=True,
+        ),
+    )
+    def test_keyed_seeds_injective_across_key_shard_pairs(self, entropy, keys):
+        root = as_seed_sequence(entropy)
+        states = [
+            tuple(int(word) for word in keyed_seed_sequence(root, namespace, index).generate_state(4))
+            for namespace, index in keys
+        ]
+        # Distinct (namespace, shard) pairs must receive distinct streams —
+        # and none of them may collide with the root's own stream.
+        states.append(tuple(int(word) for word in root.generate_state(4)))
+        assert len(set(states)) == len(states)
+
+    @SETTINGS
+    @given(
+        entropy=st.integers(0, 2**63 - 1),
+        namespace=st.integers(0, 7),
+        index=st.integers(0, 10_000),
+        unrelated_spawns=st.integers(0, 5),
+    )
+    def test_keyed_seeds_are_stateless(self, entropy, namespace, index, unrelated_spawns):
+        root = as_seed_sequence(entropy)
+        first = keyed_seed_sequence(root, namespace, index).generate_state(4)
+        # Unlike SeedSequence.spawn, the derivation must not depend on how
+        # many children were spawned before (that is what makes shard i's
+        # randomness independent of scheduling).
+        root.spawn(unrelated_spawns)
+        second = keyed_seed_sequence(root, namespace, index).generate_state(4)
+        np.testing.assert_array_equal(first, second)
