@@ -6,11 +6,13 @@
 # overwriting BENCH_hotpaths.json) when any tracked workload regressed by
 # more than 20%; `make bench-check` replays the tracked workloads at
 # reduced repeats and fails on the same >20% regression guard without ever
-# rewriting the JSON.
+# rewriting the JSON; `make bench-check-serial` replays only the
+# serial-component workloads (the strict CI gate — pool-backed rows are
+# core-count-bound and stay advisory).
 
 PYTHON ?= python
 
-.PHONY: test test-fast test-parallel bench bench-check
+.PHONY: test test-fast test-parallel bench bench-check bench-check-serial
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -26,3 +28,7 @@ bench:
 
 bench-check:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_perf_hotpaths.py --check-only --repeats 1
+
+bench-check-serial:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_perf_hotpaths.py --check-only --repeats 1 \
+		--serial-only

@@ -41,6 +41,28 @@ Measured components per ``(n, d, k)`` workload:
   so the ratio times the async machinery itself: at workers=1 it must not
   fall below ~1x (the acceptance gate — overlap may not cost anything),
   and extra workers add whatever the GIL releases (nothing on one core).
+* ``quadtree_fit_incr`` — the constant-factor sweep of the fit (incremental
+  compact keys off the one-shot digit matrix, packbits pattern LUTs,
+  buffer-reusing CSR grouping) vs the frozen PR-1..4 fit
+  (:class:`~repro.reference.presweep_hotpath.PreSweepQuadtreeEmbedding`:
+  per-level ``hash_rows`` over a doubled lattice).  Bit-identical trees;
+  both sides pay the same live spread estimate.
+* ``lloyd_fused`` — the fused suspect kernel + epoch-anchored cumulative
+  drift bounds + flat-bincount M-step vs the frozen PR-2 pruned engine
+  (:func:`~repro.reference.presweep_hotpath.presweep_kmeans`).
+  Bit-identical results; the ratio times pure bound quality and
+  constant-factor work per iteration.
+* ``merge_reduce_cached_bound`` — the streaming pipeline with the
+  per-stream crude-cost-bound cache (one Algorithm-2 binary search per
+  refresh, shared with the spread cache's signal) vs the identical
+  pipeline with the cache disabled (one search per compression).
+
+Multi-worker rows (``parallel_shard`` / ``async_stream`` beyond one
+worker) record a ``cores`` field and are marked ``informational`` when the
+recording machine has fewer cores than the row's worker count: a pool
+cannot beat serial execution without cores to run on, so such rows are
+excluded from the regression guard instead of hiding behind a widened
+tolerance.
 
 Usage::
 
@@ -55,6 +77,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
@@ -75,6 +98,7 @@ from repro.parallel import (
     ThreadAsyncExecutor,
 )
 from repro.reference.naive_lloyd import naive_kmeans
+from repro.reference.presweep_hotpath import PreSweepQuadtreeEmbedding, presweep_kmeans
 from repro.reference.seed_hotpath import SeedQuadtreeEmbedding, seed_fast_kmeans_plus_plus
 from repro.reference.seed_streaming import (
     seed_compute_spread,
@@ -93,16 +117,31 @@ REGRESSION_TOLERANCE = 0.20
 
 #: Per-component overrides of the guard tolerance.  The ``parallel_shard``
 #: ratio divides a process-pool wall-clock by a serial one, so OS scheduling
-#: jitter hits only its numerator: on a busy or single-core runner the
-#: best-of-R ratio routinely swings ±50% with zero code change (measured:
-#: 1.24 vs 1.80 across idle/busy runs of an identical build).  The wide
-#: tolerance keeps the rows guarded against catastrophic regressions (a
-#: doubled ratio) without turning scheduler noise into a red gate.
-#: ``async_stream`` divides two pipeline wall-clocks whose difference is a
-#: handful of thread hand-offs, so scheduler jitter dominates the same way;
-#: the widened guard still catches a genuinely broken overlap (a doubled
-#: ratio) without gating on noise.
+#: jitter hits only its numerator: on a busy or even adequately-cored runner
+#: the best-of-R ratio routinely swings ±50% with zero code change
+#: (measured: 1.24 vs 1.80 across idle/busy runs of an identical build).
+#: The wide tolerance keeps the rows guarded against catastrophic
+#: regressions (a doubled ratio) without turning scheduler noise into a red
+#: gate.  ``async_stream`` divides two pipeline wall-clocks whose
+#: difference is a handful of thread hand-offs, so scheduler jitter
+#: dominates the same way.  Rows whose worker count exceeds the recording
+#: machine's core count are excluded from the guard entirely (marked
+#: ``informational`` at record time) — a pool cannot beat serial execution
+#: without cores to run on, so their ratios are pure noise.
 COMPONENT_TOLERANCE = {"parallel_shard": 1.00, "async_stream": 1.00}
+
+#: Components whose rows depend on real hardware concurrency: the ``k``
+#: column carries the worker count, and rows recorded with fewer cores than
+#: workers are stamped ``informational``.
+PARALLEL_COMPONENTS = {"parallel_shard", "async_stream"}
+
+
+def available_cores() -> int:
+    """Cores usable by this process (affinity-aware where supported)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
 
 #: Lloyd workloads run up to this many iterations with tolerance 0 (the
 #: library's default ``max_iterations``) so both engines do an identical —
@@ -131,6 +170,13 @@ QUICK_WORKLOADS = [
     ("lloyd_n20k_d10_k100", 20_000, 10, 100, "lloyd"),
     ("merge_reduce_n40k_d10_k10", 40_000, 10, 10, "merge_reduce"),
     ("merge_reduce_streamkm_n20k_d10_m400", 20_000, 10, 400, "merge_reduce_streamkm"),
+    # Constant-factor sweep rows: the frozen previously-optimized
+    # implementations (repro.reference.presweep_hotpath) are the baseline.
+    ("quadtree_fit_incr_n50k_d20", 50_000, 20, 0, "quadtree_fit_incr"),
+    ("quadtree_fit_incr_n20k_d30", 20_000, 30, 0, "quadtree_fit_incr"),
+    ("lloyd_fused_n80k_d10_k20", 80_000, 10, 20, "lloyd_fused"),
+    ("lloyd_fused_n100k_d10_k20", 100_000, 10, 20, "lloyd_fused"),
+    ("merge_reduce_cached_bound_n40k_d10_k10", 40_000, 10, 10, "merge_reduce_cached_bound"),
     # The k column carries the process-backend worker count for these rows.
     ("parallel_shard_n200k_d10_w1", 200_000, 10, 1, "parallel_shard"),
     ("parallel_shard_n200k_d10_w2", 200_000, 10, 2, "parallel_shard"),
@@ -179,6 +225,50 @@ def run_workload(name: str, n: int, d: int, k: int, component: str, repeats: int
             ).fit(points),
             repeats,
         )
+    elif component == "quadtree_fit_incr":
+        optimized = _best_of(lambda: QuadtreeEmbedding(seed=0).fit(points), repeats)
+        # The baseline is the frozen PR-1..4 fit; both sides pay the same
+        # (live) spread estimator, so the ratio times the sweep itself.
+        seed_time = _best_of(
+            lambda: PreSweepQuadtreeEmbedding(seed=0).fit(points), repeats
+        )
+    elif component == "lloyd_fused":
+        initial = points[np.random.default_rng(5).choice(n, size=k, replace=False)]
+        optimized = _best_of(
+            lambda: kmeans(
+                points,
+                k,
+                initial_centers=initial,
+                max_iterations=LLOYD_ITERATIONS,
+                tolerance=0.0,
+                seed=0,
+            ),
+            repeats,
+        )
+        seed_time = _best_of(
+            lambda: presweep_kmeans(
+                points,
+                k,
+                initial_centers=initial,
+                max_iterations=LLOYD_ITERATIONS,
+                tolerance=0.0,
+                seed=0,
+            ),
+            repeats,
+        )
+    elif component == "merge_reduce_cached_bound":
+        m = 40 * k
+        sampler = FastCoreset(k=k, seed=0)
+
+        def _run_stream(cache: bool) -> None:
+            StreamingCoresetPipeline(
+                sampler=sampler, coreset_size=m, seed=1, cache_cost_bound=cache
+            ).run(DataStream.with_block_count(points, STREAM_BLOCKS))
+
+        optimized = _best_of(lambda: _run_stream(True), repeats)
+        # Baseline: the identical pipeline minus the cost-bound cache (one
+        # Algorithm-2 binary search per compression).
+        seed_time = _best_of(lambda: _run_stream(False), repeats)
     elif component == "lloyd":
         initial = points[np.random.default_rng(5).choice(n, size=k, replace=False)]
         optimized = _best_of(
@@ -271,16 +361,21 @@ def run_workload(name: str, n: int, d: int, k: int, component: str, repeats: int
         seed_time = _best_of(lambda: builder.build(points, executor=SerialExecutor()), repeats)
     else:
         raise ValueError(f"unknown component {component!r}")
-    return {
+    cores = available_cores()
+    row = {
         "name": name,
         "component": component,
         "n": n,
         "d": d,
         "k": k,
+        "cores": cores,
         "seed_seconds": round(seed_time, 6),
         "optimized_seconds": round(optimized, 6),
         "speedup": round(seed_time / optimized, 3),
     }
+    if component in PARALLEL_COMPONENTS and cores < k:  # k carries workers
+        row["informational"] = True
+    return row
 
 
 def check_regression(previous: dict, results: list) -> list:
@@ -297,6 +392,10 @@ def check_regression(previous: dict, results: list) -> list:
     for workload in results:
         old = old_by_name.get(workload["name"])
         if old is None or old.get("seed_seconds", 0) <= 0:
+            continue
+        if old.get("informational") or workload.get("informational"):
+            # Worker counts beyond the recording (or replaying) machine's
+            # cores: the ratio measures scheduler luck, not code.
             continue
         tolerance = COMPONENT_TOLERANCE.get(workload["component"], REGRESSION_TOLERANCE)
         before = old["optimized_seconds"] / old["seed_seconds"]
@@ -331,6 +430,19 @@ def main(argv=None) -> int:
         metavar="NAME",
         help="restrict the run to the named workloads (default: all tracked)",
     )
+    parser.add_argument(
+        "--components",
+        nargs="+",
+        metavar="COMPONENT",
+        help="restrict the run to workloads of the named components",
+    )
+    parser.add_argument(
+        "--serial-only",
+        action="store_true",
+        help="restrict the run to non-pool components (everything outside "
+        "PARALLEL_COMPONENTS) — the CI's strict gate, kept in one place so "
+        "new serial components are covered automatically",
+    )
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
     args = parser.parse_args(argv)
 
@@ -341,6 +453,18 @@ def main(argv=None) -> int:
         if unknown:
             parser.error(f"unknown workloads: {', '.join(unknown)}")
         workloads = [by_name[name] for name in args.workloads]
+    if args.components:
+        known = {w[4] for w in QUICK_WORKLOADS + FULL_EXTRA}
+        unknown = [c for c in args.components if c not in known]
+        if unknown:
+            parser.error(f"unknown components: {', '.join(unknown)}")
+        workloads = [w for w in workloads if w[4] in args.components]
+        if not workloads:
+            parser.error("the selected components match no workloads")
+    if args.serial_only:
+        workloads = [w for w in workloads if w[4] not in PARALLEL_COMPONENTS]
+        if not workloads:
+            parser.error("the selected components match no workloads")
     results = []
     for name, n, d, k, component in workloads:
         result = run_workload(name, n, d, k, component, args.repeats)
@@ -379,10 +503,11 @@ def main(argv=None) -> int:
         print(f"\ncheck-only: tracked workloads within tolerance of {args.output}")
         return 0
 
-    if previous is not None and args.workloads:
-        # A partial (--workloads) run only refreshes the rows it re-timed;
-        # every other tracked baseline row is carried forward so the
-        # regression guards keep their comparison basis.
+    if previous is not None and (args.workloads or args.components or args.serial_only):
+        # A partial (--workloads/--components/--serial-only) run only
+        # refreshes the rows it re-timed; every other tracked baseline row
+        # is carried forward so the regression guards keep their
+        # comparison basis.
         rerun = {w["name"] for w in results}
         carried = [w for w in previous.get("workloads", []) if w["name"] not in rerun]
         payload["workloads"] = carried + results

@@ -38,6 +38,11 @@ class CoresetConstruction(abc.ABC):
     #: Overridden by subclasses; used as the ``method`` field of the coresets.
     name: str = "abstract"
 
+    #: Whether :meth:`_sample` makes use of the ``cost_bound`` hint.  Stream
+    #: drivers consult this before paying for a crude-cost computation on
+    #: behalf of a sampler that would only ignore it.
+    consumes_cost_bound: bool = False
+
     def __init__(self, *, z: int = 2, seed: SeedLike = None) -> None:
         self.z = z
         self.seed = seed
@@ -51,6 +56,7 @@ class CoresetConstruction(abc.ABC):
         weights: Optional[np.ndarray] = None,
         seed: SeedLike = None,
         spread: Optional[float] = None,
+        cost_bound: Optional[float] = None,
     ) -> Coreset:
         """Compress ``points`` into a weighted subset of size ``m``.
 
@@ -75,12 +81,25 @@ class CoresetConstruction(abc.ABC):
             uses it to skip its per-call spread estimates, which is how the
             streaming merge-&-reduce tree shares one estimate across every
             compression of a stream.
+        cost_bound:
+            Optional precomputed crude k-median cost upper bound ``U``
+            (Algorithm 2) for ``points``.  Samplers whose
+            :attr:`consumes_cost_bound` is false ignore it;
+            :class:`~repro.core.fast_coreset.FastCoreset` feeds it to
+            :func:`~repro.core.spread_reduction.reduce_spread`, skipping the
+            per-call dyadic binary search the same way ``spread`` skips the
+            pairwise subsample.  Like ``spread``, the value only steers
+            grid granularities (Lemmas 4.3/4.5 tolerate polynomial slack),
+            so a slightly stale bound from earlier, similarly distributed
+            data is valid.
         """
         points = check_points(points)
         weights = check_weights(weights, points.shape[0])
         m = check_sample_size(m, points.shape[0])
         effective_seed = seed if seed is not None else self.seed
-        coreset = self._sample(points, weights, m, effective_seed, spread=spread)
+        coreset = self._sample(
+            points, weights, m, effective_seed, spread=spread, cost_bound=cost_bound
+        )
         coreset.method = self.name
         return coreset
 
@@ -92,6 +111,7 @@ class CoresetConstruction(abc.ABC):
         m: int,
         seed: SeedLike,
         spread: Optional[float] = None,
+        cost_bound: Optional[float] = None,
     ) -> Coreset:
         """Produce the compression; inputs are already validated."""
 

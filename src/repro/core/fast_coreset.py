@@ -72,6 +72,11 @@ class FastCoreset(CoresetConstruction):
 
     name = "fast_coreset"
 
+    @property
+    def consumes_cost_bound(self) -> bool:  # type: ignore[override]
+        """The crude-cost hint only matters when Algorithms 2-3 run."""
+        return self.use_spread_reduction
+
     def __init__(
         self,
         k: int,
@@ -153,14 +158,18 @@ class FastCoreset(CoresetConstruction):
         m: int,
         seed: SeedLike,
         spread: Optional[float] = None,
+        cost_bound: Optional[float] = None,
     ) -> Coreset:
         generator = as_generator(seed)
 
         if self.use_spread_reduction:
-            # A caller-supplied ``spread`` (e.g. the merge-&-reduce tree's
-            # per-stream cache) lets the reduction skip both of its internal
-            # estimates; only the log of the value is consumed downstream.
-            reduction = reduce_spread(points, self.k, spread=spread, seed=generator)
+            # Caller-supplied ``spread`` / ``cost_bound`` hints (e.g. the
+            # merge-&-reduce tree's per-stream caches) let the reduction
+            # skip both of its internal estimates and the Algorithm-2
+            # binary search; only coarse grid granularities depend on them.
+            reduction = reduce_spread(
+                points, self.k, upper_bound=cost_bound, spread=spread, seed=generator
+            )
             working_points = reduction.points
             # Reuse the reduction's diagnostic spread of P' instead of
             # letting the seeding re-estimate it from scratch.

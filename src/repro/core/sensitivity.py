@@ -203,6 +203,7 @@ class SensitivitySampling(CoresetConstruction):
         m: int,
         seed: SeedLike,
         spread: Optional[float] = None,
+        cost_bound: Optional[float] = None,
     ) -> Coreset:
         generator = as_generator(seed)
         solution = self.candidate_solution(points, weights, generator)
@@ -270,6 +271,7 @@ class LightweightCoreset(CoresetConstruction):
         m: int,
         seed: SeedLike,
         spread: Optional[float] = None,
+        cost_bound: Optional[float] = None,
     ) -> Coreset:
         generator = as_generator(seed)
         total_weight = weights.sum()

@@ -35,7 +35,12 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.geometry.distances import diameter_upper_bound
-from repro.geometry.grid import assign_to_grid, count_distinct_cells, random_grid_shift
+from repro.geometry.grid import (
+    assign_to_grid,
+    count_distinct_cells,
+    hash_rows,
+    random_grid_shift,
+)
 from repro.geometry.quadtree import compute_spread
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_integer, check_points, check_power
@@ -127,11 +132,38 @@ def crude_cost_upper_bound(
 
     calls = 0
 
+    # Every probe needs floor((points - shift) / side_level); shifting and
+    # normalising once lets a probe at level l floor ``scaled * 2**l``
+    # instead of re-subtracting and re-dividing the full point set (scaling
+    # by a power of two commutes with IEEE division rounding, so the
+    # lattices are bit-identical to the direct computation).  Consecutive
+    # probes — the tail of the bisection — reuse the quadtree's multiply-add
+    # doubling (``lattice' = 2 * lattice + bit``), which is exact as well.
+    scaled = (points - shift[None, :]) / diameter
+    probe_state: Dict[str, object] = {"level": None}
+
     def occupied(level: int) -> int:
         nonlocal calls
         calls += 1
-        side = diameter * (2.0 ** (-level))
-        return count_distinct_cells(points, side, shift)
+        if probe_state["level"] is not None and level == probe_state["level"] + 1:
+            lattice = probe_state["lattice"]
+            frac = probe_state["frac"]
+            bits = frac >= 0.5
+            np.multiply(lattice, 2, out=lattice)
+            lattice += bits
+            np.multiply(frac, 2.0, out=frac)
+            frac -= bits
+        elif level <= 512:  # 2.0**level stays finite with huge margin
+            scaled_level = scaled * (2.0**level)
+            lattice = np.floor(scaled_level).astype(np.int64)
+            frac = scaled_level - lattice
+        else:  # pragma: no cover - astronomically spread inputs
+            side = diameter * (2.0 ** (-level))
+            return count_distinct_cells(points, side, shift)
+        probe_state["level"] = level
+        probe_state["lattice"] = lattice
+        probe_state["frac"] = frac
+        return int(np.unique(hash_rows(lattice)).shape[0])
 
     # Binary search for the smallest level with at least k + 1 occupied cells.
     low, high = 0, max_level

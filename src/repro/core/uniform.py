@@ -49,6 +49,7 @@ class UniformSampling(CoresetConstruction):
         m: int,
         seed: SeedLike,
         spread: Optional[float] = None,
+        cost_bound: Optional[float] = None,
     ) -> Coreset:
         generator = as_generator(seed)
         n = points.shape[0]

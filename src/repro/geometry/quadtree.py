@@ -29,11 +29,32 @@ a second sort plus a Python loop splitting one array per cell), and
 ``points_in_cell`` becomes two-slice arithmetic with no hashing.
 
 Tree distances are served from a precomputed cumulative edge-length table,
-making ``distance_from_shared_level`` an O(1) lookup, and the level-``l + 1``
-lattice is derived from the level-``l`` lattice with one multiply-add per
-coordinate (``lattice * 2 + bit``) instead of re-flooring the full point set
-— all three doublings are exact in IEEE arithmetic, so the cells are
-bit-identical to the seed's per-level ``floor`` computation.
+making ``distance_from_shared_level`` an O(1) lookup.
+
+Incremental compact keys
+------------------------
+The hash key of a lattice row is linear in the coordinates
+(:func:`~repro.geometry.grid.hash_rows` computes ``sum_j lattice[j] *
+multiplier[j]`` modulo ``2**64``), and halving the cell side maps the
+lattice to ``2 * lattice + bit``; therefore the level-``l + 1`` keys follow
+from the level-``l`` keys with one multiply-add per *point* rather than per
+coordinate::
+
+    key' = 2 * key + sum_j bit[j] * multiplier[j]      (mod 2**64)
+
+which is exact in (wrapping) integer arithmetic — the derived keys equal
+``hash_rows`` of the explicitly doubled lattice bit for bit, so the compact
+identifiers (the ranks of the distinct keys) are unchanged.  The per-level
+bits themselves are read from a *digit matrix* computed once per fit:
+``floor(frac * 2**depth)`` holds, exactly, the first ``depth`` binary digits
+of every fractional coordinate (scaling by a power of two and truncating are
+both exact in IEEE arithmetic; a fractional part that rounded to exactly 1.0
+is clamped to the all-ones digit row, which is the fixed point the iterative
+doubling converges to).  Together these replace the seed's per-level floor,
+the doubled integer lattice, *and* the per-level row hashing with one
+``(n, d)`` shift-and-mask plus one length-``n`` multiply-add per level.
+Fits whose depth cap exceeds 62 levels (beyond any realistic spread) fall
+back to the equivalent per-level ``frac`` doubling.
 
 Seed-compatibility policy
 -------------------------
@@ -44,6 +65,42 @@ frozen snapshot in :mod:`repro.reference.seed_hotpath`; the golden tests in
 ``tests/test_quadtree_golden.py`` pin this down.  Passing a precomputed
 ``spread`` skips the per-tree estimate (so multi-tree users pay for it once)
 at the cost of a different — but identically distributed — generator stream.
+
+What ``level_order_`` guarantees: within one cell, point indices appear in
+ascending input order (the grouping sort is stable), and cells appear in
+ascending compact-identifier order, where identifiers rank the distinct
+64-bit hash keys of a level in ascending unsigned order — exactly the
+labelling ``np.unique(hash_rows(lattice), return_inverse=True)`` produced in
+the seed.  Because the hash re-mixes every level, the *rank* of a cell is
+re-drawn at every depth even for cells that can no longer change: a
+singleton cell stays a singleton at all deeper levels (its one point has
+nobody left to separate from), but its label still moves with the global
+key order.  This is why construction keeps ranking all ``n`` keys per level
+instead of dropping settled singletons from the sort: any scheme that skips
+them (sort the active points only, then merge or binary-search the settled
+keys back in) must still place every settled key in the global rank order,
+which costs at least as much as the radix argsort it replaces — we measured
+``np.searchsorted`` at 1.4-3x the cost of the full stable argsort on this
+workload.  The singleton invariant is still exploited where it is free:
+construction stops at the first level where every cell is a singleton
+(deeper levels cannot refine the partition, the same early exit the seed
+performs), and the digit matrix bounds the per-level work for everyone else.
+
+What is cached where (spread and cost-bound hints)
+--------------------------------------------------
+:func:`compute_spread` estimates are the per-fit fixed cost this module
+*consumes*; two sibling subsystems cache them on behalf of repeated fits:
+
+* :class:`~repro.clustering.fast_kmeans_pp.FastKMeansPlusPlus` computes one
+  estimate and passes it to all of its trees via the ``spread`` parameter.
+* :class:`~repro.streaming.merge_reduce.MergeReduceTree` keeps one cached
+  spread *and* one cached crude cost upper bound (Algorithm 2, served to
+  :func:`repro.core.spread_reduction.reduce_spread` through the sampler's
+  ``cost_bound`` hint) per stream.  Both caches sit behind the same refresh
+  signal — a bounding-box diagonal growth past the configured factor, or
+  the staleness interval — and a refresh recomputes both together, so a
+  stream pays the pairwise subsample and the dyadic binary search once per
+  distribution shift instead of once per compression.
 """
 
 from __future__ import annotations
@@ -54,11 +111,83 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.geometry.grid import hash_rows
+from repro.geometry.grid import _hash_multipliers, hash_rows
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_integer, check_points
 
 _EMPTY_INDICES = np.empty(0, dtype=np.int64)
+
+
+def _column_extrema(points: np.ndarray) -> tuple:
+    """Per-column (min, max) of a row-major array by contiguous fold-halving.
+
+    ``np.min``/``np.max`` along axis 0 walk the array column-strided, which
+    defeats vectorisation for small ``d``; repeatedly folding the top half
+    of the rows onto the bottom half keeps every operand contiguous and
+    does ``2 n d`` SIMD comparisons total.  Extrema are associativity-exact,
+    so the result is bit-identical to the axis-0 reductions.
+    """
+    if points.shape[0] <= 64:
+        return points.min(axis=0), points.max(axis=0)
+    low = points
+    high = points
+    first = True
+    while low.shape[0] > 64:
+        half = low.shape[0] // 2
+        odd_low = low[2 * half :]
+        odd_high = high[2 * half :]
+        if first:
+            low = np.minimum(low[:half], low[half : 2 * half])
+            high = np.maximum(points[:half], points[half : 2 * half])
+            first = False
+        else:
+            np.minimum(low[:half], low[half : 2 * half], out=low[:half])
+            np.maximum(high[:half], high[half : 2 * half], out=high[:half])
+            low = low[:half]
+            high = high[:half]
+        if odd_low.shape[0]:
+            np.minimum(low[:1], odd_low, out=low[:1])
+            np.maximum(high[:1], odd_high, out=high[:1])
+    return low.min(axis=0), high.max(axis=0)
+
+
+#: Deepest tree for which the one-shot digit matrix ``floor(frac * 2**depth)``
+#: fits an ``int64`` exactly; deeper fits (spread beyond ``2**60``, never hit
+#: with the default ``max_levels=32``) take the per-level doubling fallback.
+_MAX_DIGIT_LEVELS = 62
+
+#: Digit matrices for trees of at most this depth are held as ``uint32``
+#: (half the memory traffic of the per-level bit extraction) and their key
+#: increments served from the pattern LUTs below.  The default
+#: ``max_levels=32`` always fits.
+_MAX_UINT32_DIGIT_LEVELS = 32
+
+#: Per-dimension cache of byte-aligned subset-sum tables for the chunked
+#: increment lookup.  ``np.packbits`` turns the per-level bit matrix into
+#: one byte per 8 coordinates; entry ``p`` of chunk ``b``'s table holds
+#: ``sum_{j in p} multiplier[8 b + j]`` modulo ``2**64``, so summing one
+#: table lookup per byte equals the full ``bits . multipliers`` multiply-add
+#: bit for bit.
+_PATTERN_LUT_CACHE: dict = {}
+
+
+def _pattern_tables(dimension: int) -> list:
+    """Per-byte subset-sum tables for the incremental key update."""
+    tables = _PATTERN_LUT_CACHE.get(dimension)
+    if tables is None:
+        multipliers = _hash_multipliers(dimension).view(np.int64)
+        tables = []
+        for start in range(0, dimension, 8):
+            chunk = multipliers[start : start + 8]
+            lut = np.zeros(1, dtype=np.int64)
+            for multiplier in chunk:
+                with np.errstate(over="ignore"):
+                    lut = np.concatenate([lut, lut + multiplier])
+            if lut.shape[0] < 256:  # partial final byte: high bits are zero
+                lut = np.concatenate([lut] * (256 // lut.shape[0]))
+            tables.append(lut)
+        _PATTERN_LUT_CACHE[dimension] = tables
+    return tables
 
 
 def compute_spread(
@@ -98,23 +227,41 @@ def compute_spread(
         direction = generator.normal(size=d)
         order = np.argsort(subset @ direction, kind="stable")
         subset = subset[order]
+    # Overlapping windows of 2 * block_size points with stride block_size
+    # examine exactly the within-block and adjacent-block pairs; evaluating
+    # those directly (one diagonal tile plus one off-diagonal tile per
+    # block) covers the identical pair set at half the arithmetic, because
+    # the overlap no longer re-computes every interior block against
+    # itself.  Entries at or below the noise floor (self-distances,
+    # duplicates) are masked to +inf in place, and min() is order-exact, so
+    # the estimate matches the window formulation on the same pairs.
     min_squared = np.inf
-    for start in range(0, s, block_size):
-        window = subset[start : start + 2 * block_size]
-        if window.shape[0] < 2:
-            break
-        norms = np.einsum("ij,ij->i", window, window)
-        squared = norms[:, None] + norms[None, :] - 2.0 * (window @ window.T)
+    n_blocks = (s + block_size - 1) // block_size
+    blocks = [subset[i * block_size : (i + 1) * block_size] for i in range(n_blocks)]
+    norms = [np.einsum("ij,ij->i", block, block) for block in blocks]
+    tile = np.empty((block_size, block_size), dtype=np.float64)
+
+    def _tile_min(i: int, j: int) -> float:
+        rows, columns = blocks[i].shape[0], blocks[j].shape[0]
+        squared = np.matmul(blocks[i], blocks[j].T, out=tile[:rows, :columns])
+        squared *= -2.0
+        squared += norms[i][:, None]
+        squared += norms[j][None, :]
         np.maximum(squared, 0.0, out=squared)
-        positive = squared[squared > 1e-24]
-        if positive.size:
-            min_squared = min(min_squared, float(positive.min()))
-        if start + 2 * block_size >= s:
-            break
+        return float(np.min(np.where(squared > 1e-24, squared, np.inf)))
+
+    for i in range(n_blocks):
+        min_squared = min(min_squared, _tile_min(i, i))
+        if i + 1 < n_blocks:
+            min_squared = min(min_squared, _tile_min(i, i + 1))
     if not np.isfinite(min_squared):
         return 1.0
     min_distance = math.sqrt(min_squared)
-    span = points.max(axis=0) - points.min(axis=0)
+    # One cache-friendly row-major pass for both column extrema (max and min
+    # are associativity-exact, so blocking cannot change the result; the
+    # strided axis-0 reductions cost ~2x this on wide inputs).
+    low, high = _column_extrema(points)
+    span = high - low
     max_distance = float(np.linalg.norm(span))
     if max_distance <= 0:
         return 1.0
@@ -183,14 +330,15 @@ class QuadtreeEmbedding:
         # data inside a box of side 2 * delta (Section 2.4).
         self.origin_ = points[0].copy()
         shifted_points = points - self.origin_[None, :]
-        norms = np.sqrt(np.einsum("ij,ij->i", shifted_points, shifted_points))
-        self.delta_ = float(norms.max())
+        # sqrt is monotone and exactly rounded, so sqrt(max) == max(sqrt).
+        squared_norms = np.einsum("ij,ij->i", shifted_points, shifted_points)
+        self.delta_ = float(math.sqrt(squared_norms.max()))
         if self.delta_ <= 0:
             # All points identical: a single-level tree with one cell.
             self.delta_ = 1.0
         shift_scalar = float(generator.uniform(0.0, self.delta_))
         self.shift_ = np.full(self.dimension_, shift_scalar, dtype=np.float64)
-        shifted_points = shifted_points + self.shift_[None, :]
+        shifted_points += shift_scalar
 
         if self.spread is not None:
             spread = float(self.spread)
@@ -202,29 +350,80 @@ class QuadtreeEmbedding:
         self.level_order_ = []
         self.level_offsets_ = []
 
-        # Level-0 lattice: floor(shifted / side_0).  Deeper lattices follow
-        # incrementally: halving the cell side doubles the scaled coordinate,
-        # so lattice_{l+1} = 2 * lattice_l + (frac_l >= 1/2) and
-        # frac_{l+1} = 2 * frac_l - bit.  Scaling by 2 and subtracting the
-        # integer bit are exact in IEEE double precision, so every level's
-        # cells match the seed's independent floor computation bit for bit.
-        scaled = shifted_points / self.cell_side(0)
+        # Level-0 lattice: floor(shifted / side_0).  Deeper levels never
+        # materialise a lattice: the hash keys are updated incrementally
+        # (``key' = 2 * key + bits . multipliers``, exact modulo 2**64 —
+        # see the module docstring) with the per-level bits read from the
+        # one-shot digit matrix ``floor(frac * 2**depth_cap)``.
+        scaled = shifted_points
+        scaled /= self.cell_side(0)
         lattice = np.floor(scaled).astype(np.int64)
-        frac = scaled - lattice
+        keys = hash_rows(lattice)
+        scratch = _csr_scratch(self.n_points_)
+        increment = np.empty(self.n_points_, dtype=np.int64)
+        frac = scaled
+        frac -= lattice
+        # frac >= 0, so truncation is floor; a fractional part that rounded
+        # up to exactly 1.0 reads as the all-ones digit row — the fixed
+        # point of 2f - (f >= 1/2).  Shallow trees left-align the digits in
+        # a uint32 residual so each level's bits are one sign-compare away,
+        # and resolve the key increment with one byte-table lookup per 8
+        # coordinates (``np.packbits`` row patterns).
+        residual = None
+        digits = None
+        bits = None
+        tables = None
+        if depth_cap <= _MAX_UINT32_DIGIT_LEVELS:
+            residual = (frac * (2.0**depth_cap)).astype(np.uint32)
+            np.minimum(residual, np.uint32((1 << depth_cap) - 1), out=residual)
+            residual <<= np.uint32(32 - depth_cap)  # level-1 bit on top
+            tables = _pattern_tables(self.dimension_)
+            # Byte-aligned flag rows let packbits run over one flat stream
+            # (the per-row path is ~50x slower for narrow inputs); the pad
+            # columns stay zero so the final byte patterns are unaffected.
+            padded_width = (self.dimension_ + 7) // 8 * 8
+            flag_buffer = np.zeros((self.n_points_, padded_width), dtype=bool)
+            flag_view = flag_buffer[:, : self.dimension_]
+        elif depth_cap <= _MAX_DIGIT_LEVELS:
+            digits = (frac * (2.0**depth_cap)).astype(np.int64)
+            np.minimum(digits, (np.int64(1) << depth_cap) - 1, out=digits)
+            bits = np.empty_like(digits)
+            multipliers = _hash_multipliers(self.dimension_).view(np.int64)
         for level in range(depth_cap + 1):
             if level > 0:
-                bits = frac >= 0.5
-                np.multiply(lattice, 2, out=lattice)
-                lattice += bits
-                np.multiply(frac, 2.0, out=frac)
-                frac -= bits
-            cell_ids, order, offsets = _csr_group(hash_rows(lattice))
+                # Signed integers wrap modulo 2**64 exactly like the uint64
+                # view hash_rows sums in, so the incremental keys are
+                # bit-identical to hashing the doubled lattice.
+                if residual is not None:
+                    np.greater_equal(residual, np.uint32(0x80000000), out=flag_view)
+                    residual <<= np.uint32(1)
+                    packed = np.packbits(
+                        flag_buffer.reshape(-1), bitorder="little"
+                    ).reshape(self.n_points_, padded_width // 8)
+                    np.take(tables[0], packed[:, 0], out=increment)
+                    for byte, lut in enumerate(tables[1:], start=1):
+                        increment += lut[packed[:, byte]]
+                else:
+                    if digits is not None:
+                        np.right_shift(digits, np.int64(depth_cap - level), out=bits)
+                        np.bitwise_and(bits, np.int64(1), out=bits)
+                    else:
+                        flags = frac >= 0.5
+                        np.multiply(frac, 2.0, out=frac)
+                        frac -= flags
+                        bits = flags.astype(np.int64)
+                        multipliers = _hash_multipliers(self.dimension_).view(np.int64)
+                    np.matmul(bits, multipliers, out=increment)
+                np.left_shift(keys, np.uint64(1), out=keys)
+                keys += increment.view(np.uint64)
+            cell_ids, order, offsets = _csr_group(keys, scratch)
             self.level_cell_ids_.append(cell_ids)
             self.level_order_.append(order)
             self.level_offsets_.append(offsets)
             if offsets.shape[0] - 1 >= self.n_points_:
-                # Every point isolated in its own cell: deeper levels add
-                # nothing to the tree metric.
+                # Every point isolated in its own cell: singletons stay
+                # singletons at all deeper levels, so the partition — and
+                # with it the tree metric — can no longer change.
                 break
 
         self._build_distance_table()
@@ -316,7 +515,16 @@ class QuadtreeEmbedding:
         return self.level_offsets_[level].shape[0] - 1
 
 
-def _csr_group(keys: np.ndarray) -> tuple:
+def _csr_scratch(n: int) -> tuple:
+    """Reusable per-fit work arrays for :func:`_csr_group`."""
+    return (
+        np.empty(n, dtype=np.uint64),  # keys in sorted order
+        np.empty(n, dtype=bool),  # run starts
+        np.empty(n, dtype=np.int64),  # identifiers in sorted order
+    )
+
+
+def _csr_group(keys: np.ndarray, scratch: Optional[tuple] = None) -> tuple:
     """Group points by hash key with one sort: (compact ids, order, offsets).
 
     ``order`` lists the point indices sorted by compact cell identifier
@@ -325,17 +533,24 @@ def _csr_group(keys: np.ndarray) -> tuple:
     it.  Identifiers rank the distinct keys in ascending (unsigned) order —
     the same labelling ``np.unique(..., return_inverse=True)`` produced in
     the seed implementation, at half the sorting cost and without the
-    per-cell Python splitting loop.
+    per-cell Python splitting loop.  ``scratch`` (see :func:`_csr_scratch`)
+    lets a caller grouping many levels of the same point set reuse the
+    intermediate work arrays; only the three returned arrays are fresh.
     """
     n = keys.shape[0]
+    if scratch is None:
+        scratch = _csr_scratch(n)
+    sorted_keys, starts, ids_in_order = scratch
     order = np.argsort(keys, kind="stable")
-    sorted_keys = keys[order]
-    starts = np.empty(n, dtype=bool)
+    np.take(keys, order, out=sorted_keys)
     starts[0] = True
     np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=starts[1:])
-    ids_in_order = np.cumsum(starts, dtype=np.int64) - 1
+    np.cumsum(starts, dtype=np.int64, out=ids_in_order)
+    ids_in_order -= 1
     cell_ids = np.empty(n, dtype=np.int64)
     cell_ids[order] = ids_in_order
-    offsets = np.flatnonzero(starts)
-    offsets = np.concatenate([offsets, [n]]).astype(np.int64)
+    boundaries = np.flatnonzero(starts)
+    offsets = np.empty(boundaries.shape[0] + 1, dtype=np.int64)
+    offsets[:-1] = boundaries
+    offsets[-1] = n
     return cell_ids, order, offsets

@@ -78,6 +78,7 @@ class ShardTask:
     sampler: CoresetConstruction
     seed: np.random.SeedSequence
     spread: Optional[float] = None
+    cost_bound: Optional[float] = None
 
 
 def compress_shard(payload: ArrayPayload, task: ShardTask) -> Coreset:
@@ -90,6 +91,7 @@ def compress_shard(payload: ArrayPayload, task: ShardTask) -> Coreset:
         weights=weights,
         seed=task.seed,
         spread=task.spread,
+        cost_bound=task.cost_bound,
     )
 
 

@@ -1,20 +1,25 @@
 """Frozen reference implementations used for equivalence testing and benchmarking.
 
-The modules in this package are verbatim snapshots of hot-path code as it
-stood in the seed revision of the repository.  They are **not** maintained
-for speed and must not be used by library code: their sole purpose is to
+The modules in this package are verbatim snapshots of hot-path code at a
+fixed revision: the ``seed_*`` / ``naive_*`` modules freeze the original
+seed revision, and :mod:`~repro.reference.presweep_hotpath` freezes the
+PR-1..4 optimized implementations that the PR-5 constant-factor sweep
+replaced.  They are **not** maintained for speed and must not be used by
+library code: their sole purpose is to
 
 * serve as the golden baseline for the equivalence tests (the optimized
   quadtree must report the same cells and tree distances as the seed), and
-* provide the "seed" timing column of ``benchmarks/bench_perf_hotpaths.py``
-  so every benchmark run measures seed-vs-optimized in the same process on
-  the same hardware.
+* provide the baseline timing column of ``benchmarks/bench_perf_hotpaths.py``
+  so every benchmark run measures baseline-vs-optimized in the same process
+  on the same hardware (seed columns for the original rows, pre-sweep
+  columns for the ``*_incr`` / ``*_fused`` rows).
 
 Do not modify these snapshots when optimizing the live implementations —
 that would silently move the goalposts of both the tests and the benchmark.
 """
 
 from repro.reference.naive_lloyd import naive_kmeans
+from repro.reference.presweep_hotpath import PreSweepQuadtreeEmbedding, presweep_kmeans
 from repro.reference.seed_hotpath import SeedQuadtreeEmbedding, seed_fast_kmeans_plus_plus
 from repro.reference.seed_streaming import (
     SeedMergeReduceTree,
@@ -24,9 +29,11 @@ from repro.reference.seed_streaming import (
 )
 
 __all__ = [
+    "PreSweepQuadtreeEmbedding",
     "SeedQuadtreeEmbedding",
     "SeedMergeReduceTree",
     "naive_kmeans",
+    "presweep_kmeans",
     "seed_compute_spread",
     "seed_fast_kmeans_plus_plus",
     "seed_stream_coreset",

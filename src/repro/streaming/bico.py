@@ -243,6 +243,7 @@ class BicoCoreset(CoresetConstruction):
         m: int,
         seed: SeedLike,
         spread: Optional[float] = None,
+        cost_bound: Optional[float] = None,
     ) -> Coreset:
         """Static-setting interface: stream the whole dataset through BICO."""
         instance = BicoCoreset(coreset_size=m, block_size=self.block_size, z=self.z, seed=seed)

@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.core.base import CoresetConstruction
 from repro.core.coreset import Coreset, merge_coresets
+from repro.core.spread_reduction import crude_cost_upper_bound
 from repro.geometry.quadtree import compute_spread
 from repro.parallel.executor import (
     ArrayPayload,
@@ -82,6 +83,18 @@ class MergeReduceTree:
         the previous estimate.  Disabling the flag restores the exact
         per-block-estimate behaviour (used as the baseline by the perf
         harness and the distortion-parity tests).
+    cache_cost_bound:
+        Also cache the Algorithm-2 crude cost upper bound behind the *same*
+        refresh signal (default).  For samplers that declare
+        ``consumes_cost_bound`` (a :class:`~repro.core.fast_coreset.FastCoreset`
+        with spread reduction enabled), every compression then skips its
+        per-call dyadic binary search; the bound is recomputed together
+        with the spread whenever the bounding box grows or the staleness
+        interval expires — a refresh resets both caches at once.  The
+        bound, like the spread, only steers grid granularities whose
+        guarantees tolerate polynomial slack, so a bound measured on an
+        earlier block of the same stream remains valid between refreshes.
+        Ignored when ``share_stream_state`` is disabled.
     spread_refresh_factor:
         Bounding-box growth ratio that triggers a fresh estimate.
     spread_refresh_interval:
@@ -127,30 +140,35 @@ class MergeReduceTree:
     coreset_size: int
     seed: SeedLike = None
     share_stream_state: bool = True
+    cache_cost_bound: bool = True
     spread_refresh_factor: float = 2.0
     spread_refresh_interval: int = 32
     levels: Dict[int, Coreset] = field(default_factory=dict)
     reductions: int = 0
     blocks_seen: int = 0
     spread_refreshes: int = 0
+    cost_bound_refreshes: int = 0
     spawn_seeds: bool = False
     pending_limit: Optional[int] = None
 
     def __post_init__(self) -> None:
         self.coreset_size = check_integer(self.coreset_size, name="coreset_size")
         #: Leaf compressions submitted to an async executor but not yet
-        #: folded, as ``(future, spread_hint)`` in arrival order.
-        self._pending: Deque[Tuple[Future, Optional[float]]] = deque()
+        #: folded, as ``(future, spread_hint, cost_bound_hint)`` in arrival
+        #: order.
+        self._pending: Deque[Tuple[Future, Optional[float], Optional[float]]] = deque()
         self._generator = as_generator(self.seed)
-        # The spread cache draws from its own derived generator (seeded here
-        # unconditionally) so that toggling ``share_stream_state`` never
-        # shifts the per-compression seed stream: with a hint-agnostic
-        # sampler the two modes produce identical coresets.
+        # The shared-state caches draw from their own derived generator
+        # (seeded here unconditionally) so that toggling
+        # ``share_stream_state`` never shifts the per-compression seed
+        # stream: with a hint-agnostic sampler the two modes produce
+        # identical coresets.
         self._spread_generator = as_generator(random_seed_from(self._generator))
         self._spawn_root = as_seed_sequence(self.seed) if self.spawn_seeds else None
         self._bounds_low: Optional[np.ndarray] = None
         self._bounds_high: Optional[np.ndarray] = None
         self._cached_spread: Optional[float] = None
+        self._cached_cost_bound: Optional[float] = None
         self._cached_diameter: float = 0.0
         self._compressions_since_refresh: int = 0
 
@@ -166,16 +184,34 @@ class MergeReduceTree:
             self._bounds_low = np.minimum(self._bounds_low, low)
             self._bounds_high = np.maximum(self._bounds_high, high)
 
-    def _spread_hint(self, points: np.ndarray) -> Optional[float]:
-        """Cached spread of the stream, refreshed on bounding-box growth."""
+    def _wants_cost_bound(self) -> bool:
+        return (
+            self.cache_cost_bound
+            and bool(getattr(self.sampler, "consumes_cost_bound", False))
+            and getattr(self.sampler, "k", None) is not None
+        )
+
+    def _stream_hints(
+        self, points: np.ndarray
+    ) -> Tuple[Optional[float], Optional[float]]:
+        """Cached (spread, crude cost bound), refreshed on bounding-box growth.
+
+        The two caches share one staleness signal: whenever the bounding box
+        diagonal outgrows the configured factor (or the refresh interval
+        expires) *both* are recomputed from the triggering block — spread
+        first, then the Algorithm-2 bound off that fresh spread, drawing
+        from the dedicated cache generator in that fixed order.
+        """
         if not self.share_stream_state:
-            return None
+            return None, None
         if self._bounds_low is None or points.shape[0] < 2:
-            return None
+            return None, None
         diameter = float(np.linalg.norm(self._bounds_high - self._bounds_low))
         self._compressions_since_refresh += 1
+        wants_bound = self._wants_cost_bound()
         stale = (
             self._cached_spread is None
+            or (wants_bound and self._cached_cost_bound is None)
             or diameter > self.spread_refresh_factor * self._cached_diameter
             or self._compressions_since_refresh > self.spread_refresh_interval
         )
@@ -184,17 +220,29 @@ class MergeReduceTree:
             self._cached_diameter = diameter
             self._compressions_since_refresh = 0
             self.spread_refreshes += 1
-        return self._cached_spread
+            if wants_bound:
+                self._cached_cost_bound = crude_cost_upper_bound(
+                    points,
+                    int(self.sampler.k),
+                    spread=self._cached_spread,
+                    seed=self._spread_generator,
+                ).upper_bound
+                self.cost_bound_refreshes += 1
+            else:
+                self._cached_cost_bound = None
+        return self._cached_spread, self._cached_cost_bound if wants_bound else None
 
     def _compress(self, points: np.ndarray, weights: np.ndarray) -> Coreset:
         """Compress a weighted point set to at most ``coreset_size`` points."""
         m = min(self.coreset_size, points.shape[0])
+        spread, cost_bound = self._stream_hints(points)
         return self.sampler.sample(
             points,
             m,
             weights=weights,
             seed=random_seed_from(self._generator),
-            spread=self._spread_hint(points),
+            spread=spread,
+            cost_bound=cost_bound,
         )
 
     # ---------------------------------------------------- spawn-keyed mode
@@ -204,14 +252,20 @@ class MergeReduceTree:
     def _reduce_seed(self, reduce_index: int) -> np.random.SeedSequence:
         return keyed_seed_sequence(self._spawn_root, KEY_STREAM_REDUCE, reduce_index)
 
-    def _fold(self, current: Coreset, spread_hint: Optional[float]) -> None:
+    def _fold(
+        self,
+        current: Coreset,
+        spread_hint: Optional[float],
+        cost_bound_hint: Optional[float] = None,
+    ) -> None:
         """Carry-propagate one leaf up the tree (spawn-keyed reduce seeds).
 
-        Reduce compressions reuse the spread hint of the leaf that triggered
-        them (they compress a merge of coresets *of blocks already observed*,
-        so the hint is equally valid) — a deliberate choice that keeps every
-        stochastic input a pure function of the block sequence, never of how
-        leaves were batched across executor workers.
+        Reduce compressions reuse the spread and cost-bound hints of the
+        leaf that triggered them (they compress a merge of coresets *of
+        blocks already observed*, so the hints are equally valid) — a
+        deliberate choice that keeps every stochastic input a pure function
+        of the block sequence, never of how leaves were batched across
+        executor workers.
         """
         level = 0
         while level in self.levels:
@@ -224,6 +278,7 @@ class MergeReduceTree:
                 weights=merged.weights,
                 seed=self._reduce_seed(self.reductions),
                 spread=spread_hint,
+                cost_bound=cost_bound_hint,
             )
             self.reductions += 1
             level += 1
@@ -277,14 +332,15 @@ class MergeReduceTree:
             self.blocks_seen += 1
             if self.share_stream_state and points.shape[0]:
                 self._observe(points)
+            spread, cost_bound = self._stream_hints(points)
             prepared.append(
-                (points, weights, self._spread_hint(points), self._leaf_seed(leaf_index))
+                (points, weights, spread, cost_bound, self._leaf_seed(leaf_index))
             )
         if not prepared:
             return
         tasks = []
         start = 0
-        for index, (points, _, hint, seed) in enumerate(prepared):
+        for index, (points, _, spread, cost_bound, seed) in enumerate(prepared):
             stop = start + points.shape[0]
             tasks.append(
                 ShardTask(
@@ -294,7 +350,8 @@ class MergeReduceTree:
                     m=self.coreset_size,
                     sampler=self.sampler,
                     seed=seed,
-                    spread=hint,
+                    spread=spread,
+                    cost_bound=cost_bound,
                 )
             )
             start = stop
@@ -302,10 +359,13 @@ class MergeReduceTree:
             points=np.concatenate([points for points, *_ in prepared], axis=0),
             weights=np.concatenate([weights for _, weights, *_ in prepared], axis=0),
         )
-        hints = [hint for _, _, hint, _ in prepared]
+        hints = [(spread, cost_bound) for _, _, spread, cost_bound, _ in prepared]
         if isinstance(executor, AsyncExecutor):
             futures = executor.submit_many(compress_shard, tasks, payload=payload)
-            self._pending.extend(zip(futures, hints))
+            self._pending.extend(
+                (future, spread, cost_bound)
+                for future, (spread, cost_bound) in zip(futures, hints)
+            )
             self._drain_pending(self.pending_limit)
             return
         self.flush()  # earlier async batches must fold before this one
@@ -316,15 +376,15 @@ class MergeReduceTree:
         finally:
             if owns_executor:
                 executor.close()
-        for leaf, hint in zip(leaves, hints):
-            self._fold(leaf, hint)
+        for leaf, (spread, cost_bound) in zip(leaves, hints):
+            self._fold(leaf, spread, cost_bound)
 
     def _drain_pending(self, limit: Optional[int]) -> None:
         """Fold queued leaf futures (oldest first) down to ``limit``."""
         target = 0 if limit is None else max(0, int(limit))
         while len(self._pending) > target:
-            future, hint = self._pending.popleft()
-            self._fold(future.result(), hint)
+            future, spread, cost_bound = self._pending.popleft()
+            self._fold(future.result(), spread, cost_bound)
 
     def flush(self) -> None:
         """Fold every leaf compression still in flight (arrival order)."""
@@ -365,12 +425,18 @@ class MergeReduceTree:
             combined = merge_coresets(survivors)
         if combined.size > self.coreset_size:
             if self.spawn_seeds:
+                share = self.share_stream_state
                 final = self.sampler.sample(
                     combined.points,
                     min(self.coreset_size, combined.points.shape[0]),
                     weights=combined.weights,
                     seed=self._reduce_seed(self.reductions),
-                    spread=self._cached_spread if self.share_stream_state else None,
+                    spread=self._cached_spread if share else None,
+                    cost_bound=(
+                        self._cached_cost_bound
+                        if share and self._wants_cost_bound()
+                        else None
+                    ),
                 )
             else:
                 final = self._compress(combined.points, combined.weights)
@@ -480,6 +546,7 @@ class StreamingCoresetPipeline:
     coreset_size: int
     seed: SeedLike = None
     share_stream_state: bool = True
+    cache_cost_bound: bool = True
     executor: Union[None, str, Executor, AsyncExecutor] = None
     batch_size: Optional[int] = None
     prefetch_batches: Optional[int] = None
@@ -490,6 +557,7 @@ class StreamingCoresetPipeline:
             coreset_size=self.coreset_size,
             seed=self.seed,
             share_stream_state=self.share_stream_state,
+            cache_cost_bound=self.cache_cost_bound,
             spawn_seeds=self.executor is not None or self.prefetch_batches is not None,
         )
 
@@ -564,6 +632,7 @@ class StreamingCoresetPipeline:
             "coreset_size": float(coreset.size),
             "total_weight": coreset.total_weight,
             "spread_refreshes": float(tree.spread_refreshes),
+            "cost_bound_refreshes": float(tree.cost_bound_refreshes),
         }
         return coreset, statistics
 

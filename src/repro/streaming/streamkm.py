@@ -178,6 +178,7 @@ class StreamKMPlusPlus(CoresetConstruction):
         m: int,
         seed: SeedLike,
         spread: Optional[float] = None,
+        cost_bound: Optional[float] = None,
     ) -> Coreset:
         return self._coreset_tree_reduce(points, weights, m, seed)
 

@@ -85,6 +85,57 @@ class TestPrunedEquivalence:
         assert naive_kmeans(points, 20, seed=5, max_iterations=40).recompute_fraction == 1.0
 
 
+class TestEquivalenceExtremes:
+    """Fused-kernel coverage at the edges of the (n, k) grid."""
+
+    def test_k_one_runner_up_undefined(self):
+        """With a single center the runner-up distance is undefined (+inf):
+        the engine must never recompute and still match bit for bit."""
+        points = np.random.default_rng(2).normal(size=(500, 4)) * 3.0
+        _assert_bit_identical(
+            kmeans(points, 1, seed=9, max_iterations=25),
+            naive_kmeans(points, 1, seed=9, max_iterations=25),
+        )
+
+    @pytest.mark.parametrize("k", [115, 118, 120])
+    def test_k_near_n_mass_reseeds(self, k):
+        """k close to n on heavily duplicated data: many clusters empty at
+        once every iteration, exercising the multi-empty re-seed path and
+        its generator consumption under the fused kernel."""
+        rng = np.random.default_rng(4)
+        base = rng.normal(size=(30, 3))
+        points = np.concatenate([base, base, base, base])  # n=120, 30 distinct
+        pruned = kmeans(points, k, seed=6, max_iterations=30)
+        naive = naive_kmeans(points, k, seed=6, max_iterations=30)
+        _assert_bit_identical(pruned, naive)
+
+    def test_mass_recompute_sentinel_bounds_stay_sound(self, monkeypatch):
+        """Regression test: blocks above the detail limit skip the runner-up
+        id and third distance; the fallback bound for the remaining centers
+        must still cover *all* of them (an early version only bounded the
+        runner-up, silently freezing wrong assignments)."""
+        import repro.clustering.lloyd as lloyd_module
+
+        monkeypatch.setattr(lloyd_module, "_THIRD_DISTANCE_ROW_LIMIT", 64)
+        points = gaussian_mixture(n=2500, d=6, n_clusters=8, gamma=0.0, seed=8).points
+        pruned = kmeans(points, 24, seed=3, max_iterations=40)
+        naive = naive_kmeans(points, 24, seed=3, max_iterations=40)
+        _assert_bit_identical(pruned, naive)
+
+    def test_prove_stay_filter_disabled_and_forced(self, monkeypatch):
+        """The phase-three prove-stay filter is an optimisation only: forcing
+        it on for every suspect set (or off entirely) must not change any
+        output bit."""
+        import repro.clustering.lloyd as lloyd_module
+
+        points = gaussian_mixture(n=3000, d=5, n_clusters=10, gamma=0.0, seed=12).points
+        reference = naive_kmeans(points, 15, seed=2, max_iterations=35)
+        monkeypatch.setattr(lloyd_module, "_PROVE_STAY_FRACTION", 1)
+        _assert_bit_identical(kmeans(points, 15, seed=2, max_iterations=35), reference)
+        monkeypatch.setattr(lloyd_module, "_PROVE_STAY_FRACTION", 10**9)
+        _assert_bit_identical(kmeans(points, 15, seed=2, max_iterations=35), reference)
+
+
 class TestReseedDistinctness:
     def test_multiple_empty_clusters_reseed_distinct_points(self):
         """Satellite fix: two empty clusters must not re-seed at the same point.

@@ -105,6 +105,59 @@ class TestSamplerProperties:
         assert occupied - 1e-6 <= total <= 2.0 * occupied + 1e-6
 
 
+class TestIncrementalQuadtreeKeys:
+    """The fit's incremental compact keys (``key' = 2 key + bits .
+    multipliers`` off the one-shot digit matrix) must equal re-hashing an
+    independently re-floored lattice at every level, for arbitrary shapes,
+    depth caps, and degenerate coincident-point inputs."""
+
+    @SETTINGS
+    @given(
+        points=points_strategy,
+        seed=st.integers(0, 10_000),
+        max_levels=st.integers(2, 40),
+        scale=st.sampled_from([1e-6, 1.0, 1e6]),
+        duplicate=st.booleans(),
+    )
+    def test_incremental_keys_match_recomputed_lattice_hashes(
+        self, points, seed, max_levels, scale, duplicate
+    ):
+        points = points * scale
+        if duplicate:
+            # Coincident points: repeated rows plus an exactly-zero block.
+            points = np.concatenate(
+                [points, points[: points.shape[0] // 2], np.zeros((7, points.shape[1]))]
+            )
+        tree = QuadtreeEmbedding(seed=seed, max_levels=max_levels).fit(points)
+        shifted = points - tree.origin_[None, :] + tree.shift_[None, :]
+        for level in range(tree.depth):
+            lattice = np.floor(shifted / tree.cell_side(level)).astype(np.int64)
+            _, inverse = np.unique(hash_rows(lattice), return_inverse=True)
+            np.testing.assert_array_equal(
+                tree.level_cell_ids_[level], inverse.reshape(-1).astype(np.int64)
+            )
+
+    @SETTINGS
+    @given(points=points_strategy, seed=st.integers(0, 10_000), exponent=st.integers(6, 13))
+    def test_deep_trees_match_seed_reference(self, points, seed, exponent):
+        """High-spread inputs (deep caps, including the int64-digit path
+        beyond the uint32 range) still reproduce the seed's cells.  The cap
+        stays below 62 levels — past that the *seed's* own float-to-int64
+        lattice cast overflows, so no implementation is defined there.
+        """
+        from repro.reference.seed_hotpath import SeedQuadtreeEmbedding
+
+        far = points[: max(2, points.shape[0] // 4)] * 1e-4 + 10.0**exponent
+        points = np.concatenate([points, far])
+        live = QuadtreeEmbedding(seed=seed, max_levels=60).fit(points)
+        reference = SeedQuadtreeEmbedding(seed=seed, max_levels=60).fit(points)
+        assert live.depth == reference.depth
+        for level in range(live.depth):
+            np.testing.assert_array_equal(
+                live.level_cell_ids_[level], reference.level_cell_ids_[level]
+            )
+
+
 class TestCompositionProperties:
     @SETTINGS
     @given(points=points_strategy, seed=st.integers(0, 10_000))

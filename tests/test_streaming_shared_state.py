@@ -90,6 +90,79 @@ class TestSpreadCache:
         coreset = UniformSampling(seed=0).sample(stream_points, 50, spread=123.4)
         assert coreset.size == 50
 
+    def test_cost_bound_hint_accepted_by_every_sampler(self, stream_points):
+        """Same round-trip contract for the Algorithm-2 cost-bound hint."""
+        for sampler in (UniformSampling(seed=0), FastCoreset(k=4, seed=0)):
+            coreset = sampler.sample(stream_points, 50, spread=123.4, cost_bound=55.5)
+            assert coreset.size >= 50
+
+
+class TestCostBoundCache:
+    def test_single_bound_refresh_for_stationary_stream(self, stream_points):
+        """One Algorithm-2 binary search per stream, not per compression,
+        refreshed together with the spread cache."""
+        tree = MergeReduceTree(sampler=FastCoreset(k=6, seed=0), coreset_size=200, seed=1)
+        for block, weights in DataStream.with_block_count(stream_points, 8):
+            tree.add_block(block, weights)
+        tree.finalize()
+        assert tree.cost_bound_refreshes == 1
+        assert tree.spread_refreshes == 1
+        assert tree._cached_cost_bound is not None and tree._cached_cost_bound > 0
+
+    def test_refresh_signal_resets_both_caches(self):
+        """Bounding-box growth re-estimates the spread AND the cost bound."""
+        rng = np.random.default_rng(3)
+        tree = MergeReduceTree(sampler=FastCoreset(k=4, seed=0), coreset_size=100, seed=2)
+        for scale in (1.0, 1.0, 10.0, 10.0, 100.0):
+            tree.add_block(rng.normal(scale=scale, size=(400, 5)))
+        assert tree.cost_bound_refreshes == tree.spread_refreshes >= 3
+
+    def test_hint_agnostic_sampler_pays_no_bound(self, stream_points):
+        """No Algorithm-2 search is spent on a sampler that ignores the hint."""
+        tree = MergeReduceTree(sampler=UniformSampling(seed=0), coreset_size=150, seed=1)
+        for block, weights in DataStream.with_block_count(stream_points, 8):
+            tree.add_block(block, weights)
+        tree.finalize()
+        assert tree.cost_bound_refreshes == 0
+
+    def test_cache_disabled_restores_per_compression_search(self, stream_points):
+        tree = MergeReduceTree(
+            sampler=FastCoreset(k=6, seed=0),
+            coreset_size=200,
+            seed=1,
+            cache_cost_bound=False,
+        )
+        for block, weights in DataStream.with_block_count(stream_points, 8):
+            tree.add_block(block, weights)
+        tree.finalize()
+        assert tree.cost_bound_refreshes == 0
+        assert tree.spread_refreshes >= 1  # the spread cache is unaffected
+
+    def test_statistics_report_bound_refreshes(self, stream_points):
+        pipeline = StreamingCoresetPipeline(
+            sampler=FastCoreset(k=6, seed=0), coreset_size=200, seed=4
+        )
+        _, statistics = pipeline.run_with_statistics(
+            DataStream.with_block_count(stream_points, 8)
+        )
+        assert statistics["cost_bound_refreshes"] >= 1.0
+
+    def test_cached_bound_distortion_matches_uncached_baseline(self, stream_points):
+        """The cached bound only steers grid granularities: distortion parity
+        with the per-compression-search baseline, averaged over seeds."""
+        sampler = FastCoreset(k=8, seed=0)
+        cached, baseline = [], []
+        for seed in range(5):
+            for collector, cache in ((cached, True), (baseline, False)):
+                coreset = StreamingCoresetPipeline(
+                    sampler=sampler, coreset_size=300, seed=seed, cache_cost_bound=cache
+                ).run(DataStream.with_block_count(stream_points, 8))
+                collector.append(
+                    coreset_distortion(stream_points, coreset, 8, seed=100 + seed)
+                )
+        assert float(np.mean(cached)) == pytest.approx(float(np.mean(baseline)), abs=0.15)
+        assert float(np.mean(cached)) < 1.5
+
 
 class TestCachedSpreadQuality:
     def test_distortion_matches_per_block_baseline(self, stream_points):
