@@ -8,11 +8,14 @@
 # reduced repeats and fails on the same >20% regression guard without ever
 # rewriting the JSON; `make bench-check-serial` replays only the
 # serial-component workloads (the strict CI gate — pool-backed rows are
-# core-count-bound and stay advisory).
+# core-count-bound and stay advisory); `make bench-check-overlap` replays
+# only the overlapped-reduction streaming rows (advisory for the same
+# reason).
 
 PYTHON ?= python
 
-.PHONY: test test-fast test-parallel bench bench-check bench-check-serial
+.PHONY: test test-fast test-parallel bench bench-check bench-check-serial \
+	bench-check-overlap
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -32,3 +35,7 @@ bench-check:
 bench-check-serial:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_perf_hotpaths.py --check-only --repeats 1 \
 		--serial-only
+
+bench-check-overlap:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_perf_hotpaths.py --check-only --repeats 1 \
+		--components overlap_reduce

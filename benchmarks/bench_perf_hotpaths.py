@@ -41,6 +41,15 @@ Measured components per ``(n, d, k)`` workload:
   so the ratio times the async machinery itself: at workers=1 it must not
   fall below ~1x (the acceptance gate — overlap may not cost anything),
   and extra workers add whatever the GIL releases (nothing on one core).
+* ``overlap_reduce`` — the overlapped-reduction streaming pipeline (every
+  merge-&-reduce fold submitted to the async pool the moment both inputs
+  exist, chained on their futures) vs the identical async pipeline with
+  ``overlap_reduces=False`` (leaves overlap, every reduce on the host
+  thread — the PR-4 behaviour).  Bit-identical coresets; the ratio times
+  the removal of the host-thread reduce floor, and the rows additionally
+  record ``host_reduce_seconds`` (optimized) next to
+  ``host_reduce_seconds_baseline`` so the trajectory shows the floor
+  itself shrinking, not just the ratio.
 * ``quadtree_fit_incr`` — the constant-factor sweep of the fit (incremental
   compact keys off the one-shot digit matrix, packbits pattern LUTs,
   buffer-reusing CSR grouping) vs the frozen PR-1..4 fit
@@ -57,8 +66,9 @@ Measured components per ``(n, d, k)`` workload:
   refresh, shared with the spread cache's signal) vs the identical
   pipeline with the cache disabled (one search per compression).
 
-Multi-worker rows (``parallel_shard`` / ``async_stream`` beyond one
-worker) record a ``cores`` field and are marked ``informational`` when the
+Multi-worker rows (``parallel_shard`` / ``async_stream`` /
+``overlap_reduce`` beyond one worker) record a ``cores`` field and are
+marked ``informational`` when the
 recording machine has fewer cores than the row's worker count: a pool
 cannot beat serial execution without cores to run on, so such rows are
 excluded from the regression guard instead of hiding behind a widened
@@ -128,12 +138,16 @@ REGRESSION_TOLERANCE = 0.20
 #: machine's core count are excluded from the guard entirely (marked
 #: ``informational`` at record time) — a pool cannot beat serial execution
 #: without cores to run on, so their ratios are pure noise.
-COMPONENT_TOLERANCE = {"parallel_shard": 1.00, "async_stream": 1.00}
+COMPONENT_TOLERANCE = {
+    "parallel_shard": 1.00,
+    "async_stream": 1.00,
+    "overlap_reduce": 1.00,
+}
 
 #: Components whose rows depend on real hardware concurrency: the ``k``
 #: column carries the worker count, and rows recorded with fewer cores than
 #: workers are stamped ``informational``.
-PARALLEL_COMPONENTS = {"parallel_shard", "async_stream"}
+PARALLEL_COMPONENTS = {"parallel_shard", "async_stream", "overlap_reduce"}
 
 
 def available_cores() -> int:
@@ -184,6 +198,11 @@ QUICK_WORKLOADS = [
     # The k column carries the async worker count for these rows.
     ("async_stream_n40k_d10_w1", 40_000, 10, 1, "async_stream"),
     ("async_stream_n40k_d10_w2", 40_000, 10, 2, "async_stream"),
+    # The k column carries the async worker count; overlapped reduces vs
+    # the leaf-only-async pipeline at the same worker count.
+    ("overlap_reduce_n40k_d10_w1", 40_000, 10, 1, "overlap_reduce"),
+    ("overlap_reduce_n40k_d10_w2", 40_000, 10, 2, "overlap_reduce"),
+    ("overlap_reduce_n40k_d10_w4", 40_000, 10, 4, "overlap_reduce"),
 ]
 FULL_EXTRA = [
     ("fast_kmeans_pp_n100k_d10_k200", 100_000, 10, 200, "fast_kmeans_pp"),
@@ -209,6 +228,7 @@ def _workload_points(n: int, d: int, seed: int = 1) -> np.ndarray:
 
 def run_workload(name: str, n: int, d: int, k: int, component: str, repeats: int) -> dict:
     points = _workload_points(n, d)
+    extras: dict = {}
     if component == "fast_kmeans_pp":
         optimized = _best_of(lambda: fast_kmeans_plus_plus(points, k, seed=0), repeats)
         seed_time = _best_of(
@@ -314,6 +334,7 @@ def run_workload(name: str, n: int, d: int, k: int, component: str, repeats: int
         workers = k  # the k column doubles as the async worker count
         m = 40 * PARALLEL_K
         sampler = FastCoreset(k=PARALLEL_K, seed=0)
+        diagnostics: dict = {}
 
         def _run_async_stream() -> None:
             # workers=1 is the CLI's default async configuration: leaves
@@ -325,28 +346,73 @@ def run_workload(name: str, n: int, d: int, k: int, component: str, repeats: int
                 else ThreadAsyncExecutor(workers=workers)
             )
             try:
-                StreamingCoresetPipeline(
+                pipeline = StreamingCoresetPipeline(
                     sampler=sampler,
                     coreset_size=m,
                     seed=1,
                     executor=executor,
                     prefetch_batches=2,
-                ).run(DataStream.with_block_count(points, STREAM_BLOCKS))
+                )
+                pipeline.run(DataStream.with_block_count(points, STREAM_BLOCKS))
             finally:
                 executor.close()
+            diagnostics["optimized"] = pipeline.last_diagnostics
 
         def _run_sync_stream() -> None:
             # The "seed" column is the synchronous serial-executor pipeline
             # on the identical spawn-keyed stream (bit-identical output).
-            StreamingCoresetPipeline(
+            pipeline = StreamingCoresetPipeline(
                 sampler=sampler,
                 coreset_size=m,
                 seed=1,
                 executor=SerialExecutor(),
-            ).run(DataStream.with_block_count(points, STREAM_BLOCKS))
+            )
+            pipeline.run(DataStream.with_block_count(points, STREAM_BLOCKS))
+            diagnostics["baseline"] = pipeline.last_diagnostics
 
         optimized = _best_of(_run_async_stream, repeats)
         seed_time = _best_of(_run_sync_stream, repeats)
+        extras["host_reduce_seconds"] = round(
+            diagnostics["optimized"]["host_reduce_seconds"], 6
+        )
+        extras["host_reduce_seconds_baseline"] = round(
+            diagnostics["baseline"]["host_reduce_seconds"], 6
+        )
+    elif component == "overlap_reduce":
+        workers = k  # the k column doubles as the async worker count
+        m = 40 * PARALLEL_K
+        sampler = FastCoreset(k=PARALLEL_K, seed=0)
+        diagnostics = {}
+
+        def _run_overlap_stream(overlap: bool, slot: str) -> None:
+            # Both sides run the identical async thread-pool pipeline; the
+            # only difference is where reduces execute, so the ratio times
+            # the host-thread reduce floor and nothing else.
+            executor = ThreadAsyncExecutor(workers=workers)
+            try:
+                pipeline = StreamingCoresetPipeline(
+                    sampler=sampler,
+                    coreset_size=m,
+                    seed=1,
+                    executor=executor,
+                    prefetch_batches=2,
+                    overlap_reduces=overlap,
+                )
+                pipeline.run(DataStream.with_block_count(points, STREAM_BLOCKS))
+            finally:
+                executor.close()
+            diagnostics[slot] = pipeline.last_diagnostics
+
+        optimized = _best_of(lambda: _run_overlap_stream(True, "optimized"), repeats)
+        # The "seed" column is the leaf-only-async pipeline (host reduces).
+        seed_time = _best_of(lambda: _run_overlap_stream(False, "baseline"), repeats)
+        extras["host_reduce_seconds"] = round(
+            diagnostics["optimized"]["host_reduce_seconds"], 6
+        )
+        extras["host_reduce_seconds_baseline"] = round(
+            diagnostics["baseline"]["host_reduce_seconds"], 6
+        )
+        extras["reduces_offloaded"] = int(diagnostics["optimized"]["reduces_offloaded"])
     elif component == "parallel_shard":
         workers = k  # the k column doubles as the worker count
         builder = ShardedCoresetBuilder(
@@ -373,6 +439,7 @@ def run_workload(name: str, n: int, d: int, k: int, component: str, repeats: int
         "optimized_seconds": round(optimized, 6),
         "speedup": round(seed_time / optimized, 3),
     }
+    row.update(extras)
     if component in PARALLEL_COMPONENTS and cores < k:  # k carries workers
         row["informational"] = True
     return row

@@ -126,12 +126,18 @@ def _compress_streaming(arguments: argparse.Namespace, sampler, backend: str) ->
         coreset, statistics = pipeline.run_with_statistics(stream)
     finally:
         executor.close()
+    diagnostics = pipeline.last_diagnostics
     execution = {
         "backend": f"async+{executor.name}",
         "workers": executor.workers,
         "mode": "streaming",
         "blocks": int(statistics["blocks"]),
         "prefetch_batches": arguments.prefetch_batches,
+        "reductions": int(statistics["reductions"]),
+        "spread_refreshes": int(statistics["spread_refreshes"]),
+        "cost_bound_refreshes": int(statistics["cost_bound_refreshes"]),
+        "reduces_offloaded": int(diagnostics.get("reduces_offloaded", 0)),
+        "pending_high_water": int(diagnostics.get("pending_high_water", 0)),
     }
     return n, coreset, execution
 
@@ -202,6 +208,8 @@ def _command_compress(arguments: argparse.Namespace) -> int:
                 "workers": build.workers,
                 "shards": len(build.shard_sizes),
                 "communication_floats": build.communication,
+                "reduces_offloaded": int(build.diagnostics.get("reduces_offloaded", 0)),
+                "pending_high_water": int(build.diagnostics.get("pending_high_water", 0)),
             }
         else:
             # One shard: nothing to parallelise, and the single-shot sampler

@@ -31,11 +31,13 @@ from repro.parallel.executor import (
     SerialExecutor,
     ThreadAsyncExecutor,
     ThreadExecutor,
+    chain_future,
     resolve_async_executor,
     resolve_executor,
+    submit_when_ready,
 )
 from repro.parallel.sharded import ShardedBuildResult, ShardedCoresetBuilder
-from repro.parallel.sharding import ShardTask, compress_shard, shard_bounds
+from repro.parallel.sharding import ShardTask, compress_shard, merge_payload, shard_bounds
 
 __all__ = [
     "BACKENDS",
@@ -48,11 +50,14 @@ __all__ = [
     "SerialExecutor",
     "ThreadAsyncExecutor",
     "ThreadExecutor",
+    "chain_future",
     "resolve_async_executor",
     "resolve_executor",
+    "submit_when_ready",
     "ShardedBuildResult",
     "ShardedCoresetBuilder",
     "ShardTask",
     "compress_shard",
+    "merge_payload",
     "shard_bounds",
 ]

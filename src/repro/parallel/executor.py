@@ -633,6 +633,92 @@ class AsyncExecutor(abc.ABC):
         return f"{type(self).__name__}(backend={self.name!r}, workers={self.workers})"
 
 
+def chain_future(source: Future, target: Future) -> None:
+    """Propagate ``source``'s outcome (result or exception) into ``target``.
+
+    The building block of dependency-chained submission: a consumer can hand
+    out ``target`` immediately and let the backend resolve ``source``
+    whenever it schedules the work.
+    """
+
+    def _copy(done: Future) -> None:
+        error = done.exception()
+        if error is not None:
+            target.set_exception(error)
+        else:
+            target.set_result(done.result())
+
+    source.add_done_callback(_copy)
+
+
+def submit_when_ready(
+    executor: "AsyncExecutor",
+    fn: TaskFunction,
+    dependencies: Sequence[Any],
+    build: Callable[[List[Any]], Tuple[Any, Optional[ArrayPayload]]],
+) -> Future:
+    """Submit a task the moment its (possibly future-valued) inputs exist.
+
+    This is the *reduce-task path*: a reduction consumes the outputs of
+    earlier tasks — small, coreset-sized messages, never the original
+    dataset — so it cannot be submitted up front with the leaf batch, but
+    it also must not make the host block on its inputs.  ``dependencies``
+    may mix plain values and :class:`~concurrent.futures.Future` objects;
+    when the last future lands, ``build(resolved_values)`` is called to
+    produce ``(task, payload)`` and the task is submitted to ``executor``.
+    The returned future resolves to the task's result.
+
+    Three properties make this safe:
+
+    * **Submission order is irrelevant.**  The caller fixes every stochastic
+      input (seed, hints) inside ``task`` *before* calling this function, so
+      whether the submission happens now (inputs already resolved — it then
+      runs synchronously on the calling thread for the serial backend) or
+      later from a completion callback changes wall-clock only.
+    * **Executor submission is thread-safe.**  The barrier callback may fire
+      on a worker/completion thread; every backend's ``submit`` path takes
+      its own locks (pool creation, segment leasing) and
+      ``concurrent.futures`` pools accept cross-thread submissions.
+    * **Failures propagate, never orphan.**  If an input future fails, the
+      task is never submitted (no publication is created, so refcounting
+      backends pin nothing) and the input's exception resolves the returned
+      future; if ``build`` or the submission itself raises, likewise.
+    """
+    result: Future = Future()
+
+    def _launch() -> None:
+        try:
+            resolved = [
+                value.result() if isinstance(value, Future) else value
+                for value in dependencies
+            ]
+            task, payload = build(resolved)
+            inner = executor.submit(fn, task, payload=payload)
+        except BaseException as error:  # noqa: BLE001 - mirrored into the future
+            result.set_exception(error)
+            return
+        chain_future(inner, result)
+
+    waiting = [value for value in dependencies if isinstance(value, Future)]
+    if not waiting:
+        _launch()
+        return result
+
+    barrier = threading.Lock()
+    remaining = [len(waiting)]
+
+    def _dependency_done(_: Future) -> None:
+        with barrier:
+            remaining[0] -= 1
+            ready = remaining[0] == 0
+        if ready:
+            _launch()
+
+    for value in waiting:
+        value.add_done_callback(_dependency_done)
+    return result
+
+
 class SerialAsyncExecutor(AsyncExecutor):
     """The async reference backend: tasks run inline at submission time.
 

@@ -12,8 +12,9 @@ every backend and worker count** — the equivalence suite pins this.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -57,7 +58,16 @@ class ShardedBuildResult:
         Which executor ran the shard compressions.  Diagnostics only — by
         construction they never influence the coreset.
     metadata:
-        Free-form diagnostics (sampler name, shard count, ...).
+        Free-form diagnostics (sampler name, shard count, ...).  Pure
+        functions of the build configuration — the equivalence suite
+        compares them across backends.
+    diagnostics:
+        Mode-*dependent* execution diagnostics: whether the final
+        re-compression was offloaded to the pool or ran on the host
+        (``reduces_offloaded`` / ``host_reduces``), the host-thread seconds
+        it cost, and the high-water mark of landed-but-unassembled shard
+        messages on the async path.  Deliberately separate from
+        ``metadata`` so backend equivalence stays byte-exact.
     """
 
     coreset: Coreset
@@ -68,6 +78,7 @@ class ShardedBuildResult:
     backend: str
     workers: int
     metadata: Dict[str, Union[float, str]] = field(default_factory=dict)
+    diagnostics: Dict[str, float] = field(default_factory=dict)
 
 
 class ShardedCoresetBuilder:
@@ -194,27 +205,61 @@ class ShardedCoresetBuilder:
             for index, (start, stop) in enumerate(bounds)
         ]
         payload = ArrayPayload(points=shard_points, weights=shard_weights)
+        method = f"sharded[{self.sampler.name}]"
+        diagnostics: Dict[str, float] = {
+            "reduces_offloaded": 0.0,
+            "host_reduces": 0.0,
+            "host_reduce_seconds": 0.0,
+            "pending_high_water": 0.0,
+        }
         try:
             if isinstance(executor, AsyncExecutor):
-                shard_coresets = self._collect_async(executor, tasks, payload)
+                shard_coresets, union, high_water = self._collect_async(
+                    executor, tasks, payload
+                )
+                union.method = method
+                diagnostics["pending_high_water"] = float(high_water)
             else:
                 shard_coresets = executor.map(compress_shard, tasks, payload=payload)
+                union = merge_coresets(shard_coresets, method=method)
+
+            if self.final_coreset_size is not None and union.size > self.final_coreset_size:
+                final_seed = keyed_seed_sequence(root, KEY_FINAL)
+                if isinstance(executor, AsyncExecutor):
+                    # Ship the (small) union as a reduce task instead of
+                    # blocking the host thread — same sampler, seed, and
+                    # hints, so the bytes cannot differ.
+                    final_task = ShardTask(
+                        index=len(tasks),
+                        start=0,
+                        stop=union.size,
+                        m=self.final_coreset_size,
+                        sampler=self.sampler,
+                        seed=final_seed,
+                        spread=spread,
+                    )
+                    final_payload = ArrayPayload(points=union.points, weights=union.weights)
+                    coreset = executor.submit(
+                        compress_shard, final_task, payload=final_payload
+                    ).result()
+                    diagnostics["reduces_offloaded"] = 1.0
+                else:
+                    started = time.perf_counter()
+                    coreset = self.sampler.sample(
+                        union.points,
+                        self.final_coreset_size,
+                        weights=union.weights,
+                        seed=final_seed,
+                        spread=spread,
+                    )
+                    diagnostics["host_reduce_seconds"] = time.perf_counter() - started
+                    diagnostics["host_reduces"] = 1.0
+                coreset.method = method
+            else:
+                coreset = union
         finally:
             if owns_executor:
                 executor.close()
-
-        union = merge_coresets(shard_coresets, method=f"sharded[{self.sampler.name}]")
-        if self.final_coreset_size is not None and union.size > self.final_coreset_size:
-            coreset = self.sampler.sample(
-                union.points,
-                self.final_coreset_size,
-                weights=union.weights,
-                seed=keyed_seed_sequence(root, KEY_FINAL),
-                spread=spread,
-            )
-            coreset.method = f"sharded[{self.sampler.name}]"
-        else:
-            coreset = union
 
         message_sizes = [message.size for message in shard_coresets]
         communication = sum(size * (points.shape[1] + 1) for size in message_sizes)
@@ -234,6 +279,7 @@ class ShardedCoresetBuilder:
                 "n_shards": float(len(bounds)),
                 "shuffle": float(self.shuffle),
             },
+            diagnostics=diagnostics,
         )
 
     @staticmethod
@@ -241,25 +287,53 @@ class ShardedCoresetBuilder:
         executor: AsyncExecutor,
         tasks: List[ShardTask],
         payload: ArrayPayload,
-    ) -> List[Coreset]:
-        """Collect shard messages as they complete, assembling in shard order.
+    ) -> Tuple[List[Coreset], Coreset, int]:
+        """Collect shard messages as they complete, assembling the union live.
 
         Shard compressions finish in whatever order the pool schedules them;
         ``map_unordered`` hands each one to the host the moment it lands
         (unpickled off the worker immediately, never buffered behind a
-        slower earlier shard) and the ordered prefix is assembled as earlier
-        shards arrive.  The union concatenation and the final
-        re-compression still need *every* shard, so they run after the loop
-        — what the as-completed walk buys is draining results eagerly and
-        keeping the door open for backends where returning a result frees
-        worker-side resources.  Because assembly is by shard index and each
-        shard's randomness is spawn-keyed by that index, completion order
-        cannot influence a single byte of the result.
+        slower earlier shard).  Instead of a post-loop ``merge_coresets``
+        concatenation, the union is a *preallocated* buffer — capacity is
+        known up front because shard ``i`` sends exactly ``min(m, stop -
+        start)`` points — and every landed message is copied into its slot
+        while straggler shards are still running, so the host-side union
+        cost overlaps the pool.  Should a sampler ever return fewer points
+        than its slot (no in-tree sampler does), the buffer is rebuilt by
+        the classical concatenation — same bytes, one extra copy.  Because
+        slots are keyed by shard index and each shard's randomness is
+        spawn-keyed by that index, completion order cannot influence a
+        single byte of the result.
+
+        Returns the messages in shard order, the union coreset, and the
+        high-water mark of landed-but-unassembled messages (diagnostics).
         """
+        expected = [min(task.m, task.stop - task.start) for task in tasks]
+        offsets = np.concatenate([[0], np.cumsum(expected)])
+        capacity = int(offsets[-1])
+        dimension = payload.points.shape[1]
+        union_points = np.empty((capacity, dimension), dtype=np.float64)
+        union_weights = np.empty(capacity, dtype=np.float64)
+        exact = True
+
         landed: List[Optional[Coreset]] = [None] * len(tasks)
         ordered: List[Coreset] = []
+        landed_count = 0
+        high_water = 0
         for index, message in executor.map_unordered(compress_shard, tasks, payload=payload):
             landed[index] = message
+            landed_count += 1
+            if exact and message.size == expected[index]:
+                start, stop = int(offsets[index]), int(offsets[index + 1])
+                union_points[start:stop] = message.points
+                union_weights[start:stop] = message.weights
+            else:
+                exact = False
             while len(ordered) < len(landed) and landed[len(ordered)] is not None:
                 ordered.append(landed[len(ordered)])
-        return ordered
+            high_water = max(high_water, landed_count - len(ordered))
+        if exact:
+            union = Coreset(points=union_points, weights=union_weights)
+        else:
+            union = merge_coresets(ordered)
+        return ordered, union, high_water

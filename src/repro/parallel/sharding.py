@@ -21,7 +21,7 @@ quadtree cells (PR 1) and the pruned-Lloyd equivalence (PR 2).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -92,6 +92,23 @@ def compress_shard(payload: ArrayPayload, task: ShardTask) -> Coreset:
         seed=task.seed,
         spread=task.spread,
         cost_bound=task.cost_bound,
+    )
+
+
+def merge_payload(coresets: Sequence[Coreset]) -> ArrayPayload:
+    """Concatenate coreset messages into one reduce-task payload.
+
+    The arrays are byte-identical to what
+    :func:`repro.core.coreset.merge_coresets` would produce (same
+    concatenation, same order), so a reduce task compressing
+    ``payload.points[0:n]`` computes exactly what the host-side fold would —
+    the property the overlapped-reduce equivalence suite pins.  The payload
+    is *small* (a few coreset-sized messages), which is what lets reduces
+    ride the executor without re-publishing the dataset.
+    """
+    return ArrayPayload(
+        points=np.concatenate([coreset.points for coreset in coresets], axis=0),
+        weights=np.concatenate([coreset.weights for coreset in coresets], axis=0),
     )
 
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass, field
@@ -40,12 +41,14 @@ from repro.parallel.executor import (
     Executor,
     resolve_async_executor,
     resolve_executor,
+    submit_when_ready,
 )
 from repro.parallel.sharding import (
     KEY_STREAM_LEAF,
     KEY_STREAM_REDUCE,
     ShardTask,
     compress_shard,
+    merge_payload,
 )
 from repro.streaming.stream import Block, DataStream
 from repro.utils.rng import (
@@ -123,17 +126,41 @@ class MergeReduceTree:
         before :meth:`add_blocks` returns — no overlap across batches.  The
         limit changes memory and wall-clock only: folds always happen in
         arrival order, so the coreset is independent of it.
+    overlap_reduces:
+        Route *reduce* compressions through the async executor as well
+        (default).  The carry chain becomes future-aware: level slots may
+        hold in-flight futures, the host only walks carry logic, and each
+        reduce (``merge + sampler.sample``) is submitted the moment both of
+        its inputs exist — from a completion callback when an input is
+        still in flight.  Legal because reduce seeds are a pure function of
+        the reduce *index* (:meth:`_reduce_seed`), which the host assigns
+        during the walk in arrival order, never of scheduling; the result
+        is therefore bit-identical to the synchronous fold.  ``False``
+        restores the PR-4 behaviour (only leaves overlap; every reduce runs
+        on the host thread when its leaf folds).  Ignored on the
+        synchronous paths.
 
     Attributes
     ----------
     levels:
         ``levels[l]`` holds the at-most-one compression currently stored at
-        level ``l``.
+        level ``l`` — a :class:`~repro.core.coreset.Coreset`, or an
+        in-flight :class:`~concurrent.futures.Future` resolving to one
+        when reduces are overlapped.
     reductions:
         Number of reduce operations performed so far (diagnostics).
     spread_refreshes:
         Number of spread estimates actually computed (diagnostics; at most
         one per compression, exactly one for a stationary stream).
+    reduces_offloaded / host_reduces / host_reduce_seconds:
+        Where reduce compressions ran: submitted to the executor vs run on
+        the host thread, and the host-thread seconds they cost (includes
+        the final re-compression, which always runs on the host).  The
+        offload split depends on the execution mode — it is *not* part of
+        the mode-invariant statistics.
+    pending_high_water:
+        Highest number of in-flight leaf futures ever queued (diagnostics;
+        bounded by ``pending_limit`` plus one batch).
     """
 
     sampler: CoresetConstruction
@@ -143,20 +170,27 @@ class MergeReduceTree:
     cache_cost_bound: bool = True
     spread_refresh_factor: float = 2.0
     spread_refresh_interval: int = 32
-    levels: Dict[int, Coreset] = field(default_factory=dict)
+    levels: Dict[int, Union[Coreset, Future]] = field(default_factory=dict)
     reductions: int = 0
     blocks_seen: int = 0
     spread_refreshes: int = 0
     cost_bound_refreshes: int = 0
     spawn_seeds: bool = False
     pending_limit: Optional[int] = None
+    overlap_reduces: bool = True
+    reduces_offloaded: int = 0
+    host_reduces: int = 0
+    host_reduce_seconds: float = 0.0
+    pending_high_water: int = 0
 
     def __post_init__(self) -> None:
         self.coreset_size = check_integer(self.coreset_size, name="coreset_size")
         #: Leaf compressions submitted to an async executor but not yet
-        #: folded, as ``(future, spread_hint, cost_bound_hint)`` in arrival
-        #: order.
-        self._pending: Deque[Tuple[Future, Optional[float], Optional[float]]] = deque()
+        #: drained, as ``(future, spread_hint, cost_bound_hint, folded)`` in
+        #: arrival order.  ``folded`` marks entries whose carry walk already
+        #: happened (overlapped-reduce mode) — draining them is pure
+        #: backpressure, not a fold.
+        self._pending: Deque[Tuple[Future, Optional[float], Optional[float], bool]] = deque()
         self._generator = as_generator(self.seed)
         # The shared-state caches draw from their own derived generator
         # (seeded here unconditionally) so that toggling
@@ -252,6 +286,10 @@ class MergeReduceTree:
     def _reduce_seed(self, reduce_index: int) -> np.random.SeedSequence:
         return keyed_seed_sequence(self._spawn_root, KEY_STREAM_REDUCE, reduce_index)
 
+    @staticmethod
+    def _resolve(value: Union[Coreset, Future]) -> Coreset:
+        return value.result() if isinstance(value, Future) else value
+
     def _fold(
         self,
         current: Coreset,
@@ -269,9 +307,10 @@ class MergeReduceTree:
         """
         level = 0
         while level in self.levels:
-            partner = self.levels.pop(level)
+            partner = self._resolve(self.levels.pop(level))
             merged = merge_coresets([partner, current])
             m = min(self.coreset_size, merged.points.shape[0])
+            started = time.perf_counter()
             current = self.sampler.sample(
                 merged.points,
                 m,
@@ -280,7 +319,76 @@ class MergeReduceTree:
                 spread=spread_hint,
                 cost_bound=cost_bound_hint,
             )
+            self.host_reduce_seconds += time.perf_counter() - started
+            self.host_reduces += 1
             self.reductions += 1
+            level += 1
+        self.levels[level] = current
+
+    def _submit_reduce(
+        self,
+        partner: Union[Coreset, Future],
+        current: Union[Coreset, Future],
+        reduce_index: int,
+        spread_hint: Optional[float],
+        cost_bound_hint: Optional[float],
+        executor: AsyncExecutor,
+    ) -> Future:
+        """Ship one reduce compression to the pool, inputs possibly in flight.
+
+        The seed, size cap, and hints are captured *now*, during the host's
+        carry walk — the submission that eventually happens (from whichever
+        completion callback resolves the last input) has no stochastic
+        freedom left.  The payload is the two coreset messages concatenated
+        exactly as :func:`~repro.core.coreset.merge_coresets` would, in
+        ``[partner, current]`` order, so ``compress_shard`` over the whole
+        payload computes byte-for-byte what the host fold computes.
+        """
+        seed = self._reduce_seed(reduce_index)
+        sampler = self.sampler
+        size_cap = self.coreset_size
+
+        def _build(resolved: List[Coreset]) -> Tuple[ShardTask, ArrayPayload]:
+            payload = merge_payload(resolved)
+            n = payload.points.shape[0]
+            task = ShardTask(
+                index=reduce_index,
+                start=0,
+                stop=n,
+                m=min(size_cap, n),
+                sampler=sampler,
+                seed=seed,
+                spread=spread_hint,
+                cost_bound=cost_bound_hint,
+            )
+            return task, payload
+
+        return submit_when_ready(executor, compress_shard, [partner, current], _build)
+
+    def _fold_async(
+        self,
+        current: Union[Coreset, Future],
+        spread_hint: Optional[float],
+        cost_bound_hint: Optional[float],
+        executor: AsyncExecutor,
+    ) -> None:
+        """The future-aware carry chain: walk levels, offload every reduce.
+
+        Identical carry logic to :meth:`_fold` — same partner pops, same
+        reduce-index assignment in arrival order — but the compressions
+        themselves become pool tasks chained on their inputs' futures, so
+        the host never blocks.  Bit-identity follows because every
+        stochastic input (seed, hints, size cap, merge order) is fixed here,
+        before any scheduling happens.
+        """
+        level = 0
+        while level in self.levels:
+            partner = self.levels.pop(level)
+            current = self._submit_reduce(
+                partner, current, self.reductions, spread_hint, cost_bound_hint, executor
+            )
+            self.reductions += 1
+            self.reduces_offloaded += 1
             level += 1
         self.levels[level] = current
 
@@ -355,17 +463,30 @@ class MergeReduceTree:
                 )
             )
             start = stop
-        payload = ArrayPayload(
-            points=np.concatenate([points for points, *_ in prepared], axis=0),
-            weights=np.concatenate([weights for _, weights, *_ in prepared], axis=0),
-        )
+        if len(prepared) == 1:
+            # Single-block batch (the common `add_block`-sized case): the
+            # block already *is* the payload — skip the concatenate copy.
+            payload = ArrayPayload(points=prepared[0][0], weights=prepared[0][1])
+        else:
+            payload = ArrayPayload(
+                points=np.concatenate([points for points, *_ in prepared], axis=0),
+                weights=np.concatenate([weights for _, weights, *_ in prepared], axis=0),
+            )
         hints = [(spread, cost_bound) for _, _, spread, cost_bound, _ in prepared]
         if isinstance(executor, AsyncExecutor):
             futures = executor.submit_many(compress_shard, tasks, payload=payload)
-            self._pending.extend(
-                (future, spread, cost_bound)
-                for future, (spread, cost_bound) in zip(futures, hints)
-            )
+            if self.overlap_reduces:
+                # Walk the carry chain now, offloading each reduce; the
+                # queue entry only throttles in-flight leaves (folded=True).
+                for future, (spread, cost_bound) in zip(futures, hints):
+                    self._fold_async(future, spread, cost_bound, executor)
+                    self._pending.append((future, spread, cost_bound, True))
+            else:
+                self._pending.extend(
+                    (future, spread, cost_bound, False)
+                    for future, (spread, cost_bound) in zip(futures, hints)
+                )
+            self.pending_high_water = max(self.pending_high_water, len(self._pending))
             self._drain_pending(self.pending_limit)
             return
         self.flush()  # earlier async batches must fold before this one
@@ -380,15 +501,33 @@ class MergeReduceTree:
             self._fold(leaf, spread, cost_bound)
 
     def _drain_pending(self, limit: Optional[int]) -> None:
-        """Fold queued leaf futures (oldest first) down to ``limit``."""
+        """Drain queued leaf futures (oldest first) down to ``limit``.
+
+        Unfolded entries are folded on the host; already-folded entries
+        (overlapped-reduce mode) are merely awaited — the drain is the
+        backpressure that bounds in-flight leaf memory either way.
+        """
         target = 0 if limit is None else max(0, int(limit))
         while len(self._pending) > target:
-            future, spread, cost_bound = self._pending.popleft()
-            self._fold(future.result(), spread, cost_bound)
+            future, spread, cost_bound, folded = self._pending.popleft()
+            if folded:
+                future.result()
+            else:
+                self._fold(future.result(), spread, cost_bound)
 
     def flush(self) -> None:
-        """Fold every leaf compression still in flight (arrival order)."""
+        """Settle every compression still in flight (arrival order).
+
+        After this returns no callback of ours will touch the executor
+        again — the level slots may still hold futures, but they are
+        *settled* ones, so the caller may safely close the pool before
+        :meth:`finalize`.  Errors are kept in the futures and surface on
+        resolution (``Future.exception()`` observes without raising).
+        """
         self._drain_pending(None)
+        for value in self.levels.values():
+            if isinstance(value, Future):
+                value.exception()
 
     # ------------------------------------------------------------------
     def add_block(self, points: np.ndarray, weights: Optional[np.ndarray] = None) -> None:
@@ -408,7 +547,10 @@ class MergeReduceTree:
         while level in self.levels:
             partner = self.levels.pop(level)
             merged = merge_coresets([partner, current])
+            started = time.perf_counter()
             current = self._compress(merged.points, merged.weights)
+            self.host_reduce_seconds += time.perf_counter() - started
+            self.host_reduces += 1
             self.reductions += 1
             level += 1
         self.levels[level] = current
@@ -418,12 +560,13 @@ class MergeReduceTree:
         self.flush()
         if not self.levels:
             raise ValueError("no blocks were added to the merge-&-reduce tree")
-        survivors = [self.levels[level] for level in sorted(self.levels)]
+        survivors = [self._resolve(self.levels[level]) for level in sorted(self.levels)]
         if len(survivors) == 1:
             combined = survivors[0]
         else:
             combined = merge_coresets(survivors)
         if combined.size > self.coreset_size:
+            started = time.perf_counter()
             if self.spawn_seeds:
                 share = self.share_stream_state
                 final = self.sampler.sample(
@@ -440,6 +583,8 @@ class MergeReduceTree:
                 )
             else:
                 final = self._compress(combined.points, combined.weights)
+            self.host_reduce_seconds += time.perf_counter() - started
+            self.host_reduces += 1
             self.reductions += 1
         else:
             final = combined
@@ -528,6 +673,18 @@ class StreamingCoresetPipeline:
         async sibling for the duration of the run).  ``None`` with a
         synchronous executor keeps the blocking per-batch behaviour.
         Affects wall-clock and memory only, never the result.
+    overlap_reduces:
+        On the asynchronous path, also route reduce compressions through
+        the pool (default; see :class:`MergeReduceTree`).  Affects where
+        work runs, never the result.
+
+    Attributes
+    ----------
+    last_diagnostics:
+        Mode-dependent diagnostics of the most recent :meth:`run` /
+        :meth:`run_with_statistics` call (reduce offload split, host-reduce
+        seconds, pending high-water mark).  Kept separate from the returned
+        statistics, which stay mode-invariant by contract.
 
     Examples
     --------
@@ -550,6 +707,8 @@ class StreamingCoresetPipeline:
     executor: Union[None, str, Executor, AsyncExecutor] = None
     batch_size: Optional[int] = None
     prefetch_batches: Optional[int] = None
+    overlap_reduces: bool = True
+    last_diagnostics: Dict[str, float] = field(default_factory=dict, init=False, repr=False)
 
     def _tree(self) -> MergeReduceTree:
         return MergeReduceTree(
@@ -559,7 +718,19 @@ class StreamingCoresetPipeline:
             share_stream_state=self.share_stream_state,
             cache_cost_bound=self.cache_cost_bound,
             spawn_seeds=self.executor is not None or self.prefetch_batches is not None,
+            overlap_reduces=self.overlap_reduces,
         )
+
+    def _record_diagnostics(self, tree: MergeReduceTree) -> None:
+        self.last_diagnostics = {
+            "reductions": float(tree.reductions),
+            "spread_refreshes": float(tree.spread_refreshes),
+            "cost_bound_refreshes": float(tree.cost_bound_refreshes),
+            "reduces_offloaded": float(tree.reduces_offloaded),
+            "host_reduces": float(tree.host_reduces),
+            "host_reduce_seconds": tree.host_reduce_seconds,
+            "pending_high_water": float(tree.pending_high_water),
+        }
 
     def _consume(self, tree: MergeReduceTree, stream: Iterable[Block]) -> None:
         if self.executor is None and self.prefetch_batches is None:
@@ -619,13 +790,21 @@ class StreamingCoresetPipeline:
         """Process every block of ``stream`` and return the final compression."""
         tree = self._tree()
         self._consume(tree, stream)
-        return tree.finalize()
+        coreset = tree.finalize()
+        self._record_diagnostics(tree)
+        return coreset
 
     def run_with_statistics(self, stream: Iterable[Block]) -> Tuple[Coreset, Dict[str, float]]:
-        """Run and also report tree statistics (blocks, reductions, total weight)."""
+        """Run and also report tree statistics (blocks, reductions, total weight).
+
+        The returned statistics are mode-invariant (identical across
+        backends and worker counts); the mode-*dependent* diagnostics land
+        on :attr:`last_diagnostics` instead.
+        """
         tree = self._tree()
         self._consume(tree, stream)
         coreset = tree.finalize()
+        self._record_diagnostics(tree)
         statistics = {
             "blocks": float(tree.blocks_seen),
             "reductions": float(tree.reductions),

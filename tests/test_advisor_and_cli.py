@@ -229,6 +229,10 @@ class TestCliParallel:
             assert code == 0
             summary = json.loads(capsys.readouterr().out)
             assert summary["backend"] == ("async+thread" if extra else "thread")
+            if extra:
+                # The async build offloads the final re-compression.
+                assert summary["reduces_offloaded"] == 1
+                assert summary["pending_high_water"] >= 0
             archives.append(np.load(output))
         assert np.array_equal(archives[0]["points"], archives[1]["points"])
         assert np.array_equal(archives[0]["weights"], archives[1]["weights"])
@@ -271,6 +275,13 @@ class TestCliParallel:
             assert summary["mode"] == "streaming"
             assert summary["blocks"] == 16
             assert summary["backend"].startswith("async+")
+            # Reduce diagnostics ride the summary; the offload split is
+            # mode-dependent but reduces always run on the pool here.
+            assert summary["reductions"] == 15
+            assert summary["spread_refreshes"] >= 1
+            assert summary["cost_bound_refreshes"] >= 0
+            assert summary["reduces_offloaded"] == 15
+            assert summary["pending_high_water"] > 0
             archives.append(np.load(output))
         assert np.array_equal(archives[0]["points"], archives[1]["points"])
         assert np.array_equal(archives[0]["weights"], archives[1]["weights"])

@@ -25,6 +25,8 @@ import numpy as np
 import pytest
 
 from repro.core import FastCoreset, SensitivitySampling
+from repro.core.base import CoresetConstruction
+from repro.core.coreset import Coreset
 from repro.parallel import (
     AsyncExecutor,
     ProcessAsyncExecutor,
@@ -90,7 +92,7 @@ def _make_executor(backend: str, mode: str, workers: int):
     return ProcessAsyncExecutor(workers=workers)
 
 
-def _run_pipeline(blobs, executor, *, batch_size=None, prefetch=None):
+def _run_pipeline(blobs, executor, *, batch_size=None, prefetch=None, overlap=True):
     pipeline = StreamingCoresetPipeline(
         sampler=SensitivitySampling(k=5, seed=0),
         coreset_size=CORESET_SIZE,
@@ -98,8 +100,27 @@ def _run_pipeline(blobs, executor, *, batch_size=None, prefetch=None):
         executor=executor,
         batch_size=batch_size,
         prefetch_batches=prefetch,
+        overlap_reduces=overlap,
     )
     return pipeline.run_with_statistics(DataStream(points=blobs, block_size=BLOCK_SIZE))
+
+
+class _ReduceBomb(CoresetConstruction):
+    """Test sampler that compresses leaves fine but explodes on reduces.
+
+    Leaf blocks arrive with unit weights; reduce inputs are merged coreset
+    messages whose weights were rescaled by earlier compressions — so a
+    non-unit weight identifies a reduce, which is exactly where the bomb
+    goes off.  Module-level so the process backend can pickle it.
+    """
+
+    name = "reduce_bomb"
+
+    def _sample(self, points, weights, m, seed, spread=None, cost_bound=None):
+        if np.any(weights != 1.0):
+            raise RuntimeError("reduce bomb")
+        scale = weights.sum() / weights[:m].sum()
+        return Coreset(points=points[:m], weights=weights[:m] * scale)
 
 
 def _grid():
@@ -162,12 +183,15 @@ class TestStreamingCrossBackend:
 class TestShuffledCompletionOrder:
     """The jittered harness: completion order must never reach the bytes."""
 
+    @pytest.mark.parametrize("overlap", (False, True), ids=("leaf-only", "overlap-reduce"))
     @pytest.mark.parametrize("jitter_seed", range(4))
-    def test_streaming_is_completion_order_independent(self, blobs, jitter_seed):
+    def test_streaming_is_completion_order_independent(self, blobs, jitter_seed, overlap):
         reference, reference_stats = _run_pipeline(blobs, SerialExecutor(), batch_size=1)
         executor = JitteredAsyncExecutor(workers=4, seed=jitter_seed)
         try:
-            coreset, stats = _run_pipeline(blobs, executor, batch_size=4, prefetch=3)
+            coreset, stats = _run_pipeline(
+                blobs, executor, batch_size=4, prefetch=3, overlap=overlap
+            )
         finally:
             executor.close()
         assert coreset.points.tobytes() == reference.points.tobytes()
@@ -195,6 +219,11 @@ class TestShuffledCompletionOrder:
         assert result.communication == reference.communication
         assert result.metadata == reference.metadata
         assert result.backend == "async+jitter"
+        # The final re-compression rode the pool; the host ran no reduce.
+        assert result.diagnostics["reduces_offloaded"] == 1.0
+        assert result.diagnostics["host_reduces"] == 0.0
+        assert reference.diagnostics["reduces_offloaded"] == 0.0
+        assert reference.diagnostics["host_reduces"] == 1.0
 
 
 class TestShardedAsyncBackends:
@@ -295,3 +324,133 @@ class TestTreeFutureInputs:
         assert len(tree._pending) == 2
         tree.flush()
         assert not tree._pending
+
+
+class TestOverlappedReduceModes:
+    """{sync, async-leaf-only, async+overlapped-reduce} x jitter x pending-limit.
+
+    The three scheduling modes must agree byte-for-byte under adversarial
+    completion orders and any overlap window; the diagnostics must reflect
+    where the reduces actually ran.
+    """
+
+    def _blocks(self, blobs):
+        return [
+            (blobs[start : start + BLOCK_SIZE], None)
+            for start in range(0, blobs.shape[0], BLOCK_SIZE)
+        ]
+
+    def _run_tree(self, blocks, *, executor=None, overlap=True, pending_limit=None):
+        tree = MergeReduceTree(
+            sampler=SensitivitySampling(k=5, seed=0),
+            coreset_size=CORESET_SIZE,
+            seed=SEED,
+            spawn_seeds=True,
+            pending_limit=pending_limit,
+            overlap_reduces=overlap,
+        )
+        for start in range(0, len(blocks), 4):
+            tree.add_blocks(blocks[start : start + 4], executor=executor)
+        return tree.finalize(), tree
+
+    @pytest.mark.parametrize("pending_limit", (None, 1, 3))
+    @pytest.mark.parametrize("jitter_seed", range(2))
+    @pytest.mark.parametrize("mode", ("sync", "async-leaf", "async-overlap"))
+    def test_modes_agree_bytewise(self, blobs, mode, jitter_seed, pending_limit):
+        blocks = self._blocks(blobs)
+        reference, reference_tree = self._run_tree(blocks)
+        if mode == "sync":
+            executor = ThreadExecutor(workers=2)
+        else:
+            executor = JitteredAsyncExecutor(workers=4, seed=jitter_seed)
+        try:
+            result, tree = self._run_tree(
+                blocks,
+                executor=executor,
+                overlap=(mode == "async-overlap"),
+                pending_limit=pending_limit,
+            )
+        finally:
+            executor.close()
+        context = (mode, jitter_seed, pending_limit)
+        assert result.points.tobytes() == reference.points.tobytes(), context
+        assert result.weights.tobytes() == reference.weights.tobytes(), context
+        assert tree.reductions == reference_tree.reductions, context
+        assert tree.spread_refreshes == reference_tree.spread_refreshes, context
+        if mode == "async-overlap":
+            assert tree.reduces_offloaded == tree.reductions - tree.host_reduces, context
+            assert tree.reduces_offloaded > 0, context
+            assert tree.host_reduces <= 1, context  # only the final re-compression
+        else:
+            assert tree.reduces_offloaded == 0, context
+            assert tree.host_reduces == tree.reductions, context
+
+    def test_pipeline_flag_reaches_the_tree(self, blobs):
+        reference, reference_stats = _run_pipeline(blobs, SerialExecutor(), batch_size=1)
+        for overlap in (False, True):
+            executor = ThreadAsyncExecutor(workers=2)
+            pipeline = StreamingCoresetPipeline(
+                sampler=SensitivitySampling(k=5, seed=0),
+                coreset_size=CORESET_SIZE,
+                seed=SEED,
+                executor=executor,
+                overlap_reduces=overlap,
+            )
+            try:
+                coreset, stats = pipeline.run_with_statistics(
+                    DataStream(points=blobs, block_size=BLOCK_SIZE)
+                )
+            finally:
+                executor.close()
+            assert coreset.points.tobytes() == reference.points.tobytes()
+            assert stats == reference_stats
+            offloaded = pipeline.last_diagnostics["reduces_offloaded"]
+            assert (offloaded > 0) == overlap
+            assert pipeline.last_diagnostics["pending_high_water"] > 0
+
+
+class TestReduceFailurePath:
+    """A reduce exception must leave no orphaned futures or pinned segments."""
+
+    def _blocks(self, blobs, count):
+        return [
+            (blobs[start : start + BLOCK_SIZE], None)
+            for start in range(0, count * BLOCK_SIZE, BLOCK_SIZE)
+        ]
+
+    def _tree(self):
+        return MergeReduceTree(
+            sampler=_ReduceBomb(),
+            coreset_size=CORESET_SIZE,
+            seed=SEED,
+            spawn_seeds=True,
+        )
+
+    def test_thread_backend_settles_every_future(self, blobs):
+        executor = ThreadAsyncExecutor(workers=2)
+        tree = self._tree()
+        try:
+            tree.add_blocks(self._blocks(blobs, 4), executor=executor)
+            tree.flush()  # must not raise: errors stay in the futures
+            assert not tree._pending
+            futures = [v for v in tree.levels.values() if isinstance(v, Future)]
+            assert futures and all(f.done() for f in futures)
+            with pytest.raises(RuntimeError, match="reduce bomb"):
+                tree.finalize()
+        finally:
+            executor.close()
+
+    @pytest.mark.parallel
+    def test_process_backend_releases_segments(self, blobs):
+        executor = ProcessAsyncExecutor(workers=2)
+        tree = self._tree()
+        try:
+            tree.add_blocks(self._blocks(blobs, 4), executor=executor)
+            tree.flush()
+            with pytest.raises(RuntimeError, match="reduce bomb"):
+                tree.finalize()
+            # Every publication lease must be back on the free list: a
+            # failed reduce may not pin its payload's shared-memory segment.
+            assert len(executor._free) == len(executor._segments)
+        finally:
+            executor.close()

@@ -84,6 +84,14 @@ def test_trajectory_tracks_new_hot_paths():
     assert all(w["speedup"] >= 1.2 for w in by_component["quadtree_fit_incr"])
     assert all(w["speedup"] >= 1.2 for w in by_component["lloyd_fused"])
     assert "merge_reduce_cached_bound" in by_component
+    # Overlapped-reduction rows: both sides run the same async pipeline, so
+    # only presence and the host-reduce-seconds extras are pinned — the
+    # ratio is a property of the recording machine's core count.
+    assert sorted(w["k"] for w in by_component["overlap_reduce"]) == [1, 2, 4]
+    for workload in by_component["overlap_reduce"]:
+        assert "host_reduce_seconds" in workload
+        assert "host_reduce_seconds_baseline" in workload
+        assert workload["reduces_offloaded"] > 0
 
 
 def test_trajectory_rows_stamp_cores_and_informational_flags():
@@ -94,7 +102,7 @@ def test_trajectory_rows_stamp_cores_and_informational_flags():
     payload = json.loads(TRAJECTORY.read_text())
     for workload in payload["workloads"]:
         assert workload["cores"] >= 1
-        if workload["component"] in ("parallel_shard", "async_stream"):
+        if workload["component"] in ("parallel_shard", "async_stream", "overlap_reduce"):
             if workload["k"] > workload["cores"]:
                 assert workload.get("informational") is True
             else:
