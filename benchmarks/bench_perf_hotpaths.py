@@ -65,6 +65,20 @@ Measured components per ``(n, d, k)`` workload:
   per-stream crude-cost-bound cache (one Algorithm-2 binary search per
   refresh, shared with the spread cache's signal) vs the identical
   pipeline with the cache disabled (one search per compression).
+* ``quadtree_fit_native`` — the fit with the compiled grouping kernel
+  (fused radix/hash ``csr_group``) vs the frozen PR-5/6 numpy fit
+  (:class:`~repro.reference.prenative_hotpath.PreNativeQuadtreeEmbedding`:
+  ``np.argsort(kind="stable")`` + the five-pass numpy CSR pipeline).
+  Bit-identical trees; the rows record the serving kernel tier and are
+  demoted to ``informational`` when the tier is in fallback mode (the
+  ratio would then time numpy against itself).
+* ``lloyd_native`` — the pruned engine with the compiled warm-phase
+  kernels (fused einsum-replica bound refresh, per-candidate evaluation
+  with guarded direct reassignment, native M-step sums) vs the frozen
+  PR-5/6 numpy engine
+  (:func:`~repro.reference.prenative_hotpath.prenative_kmeans`).
+  Bit-identical centers/assignments/costs; same fallback demotion as
+  ``quadtree_fit_native``.  ``--components native`` selects both rows.
 
 Multi-worker rows (``parallel_shard`` / ``async_stream`` /
 ``overlap_reduce`` beyond one worker) record a ``cores`` field and are
@@ -107,7 +121,9 @@ from repro.parallel import (
     ShardedCoresetBuilder,
     ThreadAsyncExecutor,
 )
+from repro.native import native_status
 from repro.reference.naive_lloyd import naive_kmeans
+from repro.reference.prenative_hotpath import PreNativeQuadtreeEmbedding, prenative_kmeans
 from repro.reference.presweep_hotpath import PreSweepQuadtreeEmbedding, presweep_kmeans
 from repro.reference.seed_hotpath import SeedQuadtreeEmbedding, seed_fast_kmeans_plus_plus
 from repro.reference.seed_streaming import (
@@ -148,6 +164,15 @@ COMPONENT_TOLERANCE = {
 #: column carries the worker count, and rows recorded with fewer cores than
 #: workers are stamped ``informational``.
 PARALLEL_COMPONENTS = {"parallel_shard", "async_stream", "overlap_reduce"}
+
+#: Components whose optimized side is the compiled kernel tier.  Rows are
+#: stamped ``informational`` when the tier resolves to fallback mode (no
+#: compiler, no numba, or ``REPRO_NATIVE=0``): the ratio would then compare
+#: the numpy paths against themselves and guard nothing.
+NATIVE_COMPONENTS = {"quadtree_fit_native", "lloyd_native"}
+
+#: ``--components`` group aliases, expanded before filtering.
+COMPONENT_GROUPS = {"native": sorted(NATIVE_COMPONENTS)}
 
 
 def available_cores() -> int:
@@ -191,6 +216,10 @@ QUICK_WORKLOADS = [
     ("lloyd_fused_n80k_d10_k20", 80_000, 10, 20, "lloyd_fused"),
     ("lloyd_fused_n100k_d10_k20", 100_000, 10, 20, "lloyd_fused"),
     ("merge_reduce_cached_bound_n40k_d10_k10", 40_000, 10, 10, "merge_reduce_cached_bound"),
+    # Compiled-tier rows: the frozen PR-5/6 numpy hot paths
+    # (repro.reference.prenative_hotpath) are the baseline.
+    ("quadtree_fit_native_n50k_d10", 50_000, 10, 0, "quadtree_fit_native"),
+    ("lloyd_native_n80k_d10_k20", 80_000, 10, 20, "lloyd_native"),
     # The k column carries the process-backend worker count for these rows.
     ("parallel_shard_n200k_d10_w1", 200_000, 10, 1, "parallel_shard"),
     ("parallel_shard_n200k_d10_w2", 200_000, 10, 2, "parallel_shard"),
@@ -224,6 +253,18 @@ def _best_of(fn, repeats: int) -> float:
 def _workload_points(n: int, d: int, seed: int = 1) -> np.ndarray:
     clusters = max(2, min(50, n // 200))
     return gaussian_mixture(n=n, d=d, n_clusters=clusters, gamma=0.0, seed=seed).points
+
+
+def _kernel_tier_extras(kernel: str) -> dict:
+    """Attribution columns for compiled-tier rows: which tier and provider
+    produced the optimized timing (recorded numbers are meaningless without
+    it), plus the numba version when that provider is importable."""
+    status = native_status()
+    return {
+        "kernel_tier": status["tier"],
+        "kernel_provider": status["kernels"][kernel]["provider"],
+        "numba_version": status["providers"].get("numba", {}).get("numba_version"),
+    }
 
 
 def run_workload(name: str, n: int, d: int, k: int, component: str, repeats: int) -> dict:
@@ -276,6 +317,41 @@ def run_workload(name: str, n: int, d: int, k: int, component: str, repeats: int
             ),
             repeats,
         )
+    elif component == "quadtree_fit_native":
+        optimized = _best_of(lambda: QuadtreeEmbedding(seed=0).fit(points), repeats)
+        # Baseline: the frozen PR-5/6 numpy fit (stable argsort + five-pass
+        # CSR pipeline); both sides pay the same live spread estimator.
+        seed_time = _best_of(
+            lambda: PreNativeQuadtreeEmbedding(seed=0).fit(points), repeats
+        )
+        extras.update(_kernel_tier_extras("csr_group"))
+    elif component == "lloyd_native":
+        initial = points[np.random.default_rng(5).choice(n, size=k, replace=False)]
+        optimized = _best_of(
+            lambda: kmeans(
+                points,
+                k,
+                initial_centers=initial,
+                max_iterations=LLOYD_ITERATIONS,
+                tolerance=0.0,
+                seed=0,
+            ),
+            repeats,
+        )
+        # Baseline: the frozen PR-5/6 numpy pruned engine (clear-only
+        # prove-stay, separate refresh/erode/bincount passes).
+        seed_time = _best_of(
+            lambda: prenative_kmeans(
+                points,
+                k,
+                initial_centers=initial,
+                max_iterations=LLOYD_ITERATIONS,
+                tolerance=0.0,
+                seed=0,
+            ),
+            repeats,
+        )
+        extras.update(_kernel_tier_extras("lloyd_refresh_bounds"))
     elif component == "merge_reduce_cached_bound":
         m = 40 * k
         sampler = FastCoreset(k=k, seed=0)
@@ -442,6 +518,10 @@ def run_workload(name: str, n: int, d: int, k: int, component: str, repeats: int
     row.update(extras)
     if component in PARALLEL_COMPONENTS and cores < k:  # k carries workers
         row["informational"] = True
+    if component in NATIVE_COMPONENTS and row.get("kernel_tier") != "native":
+        # Fallback tier: the "optimized" side ran the same numpy paths as
+        # the baseline, so the ratio guards nothing on this machine.
+        row["informational"] = True
     return row
 
 
@@ -521,17 +601,25 @@ def main(argv=None) -> int:
             parser.error(f"unknown workloads: {', '.join(unknown)}")
         workloads = [by_name[name] for name in args.workloads]
     if args.components:
+        selected = []
+        for component in args.components:
+            selected.extend(COMPONENT_GROUPS.get(component, [component]))
         known = {w[4] for w in QUICK_WORKLOADS + FULL_EXTRA}
-        unknown = [c for c in args.components if c not in known]
+        unknown = [c for c in selected if c not in known]
         if unknown:
             parser.error(f"unknown components: {', '.join(unknown)}")
-        workloads = [w for w in workloads if w[4] in args.components]
+        workloads = [w for w in workloads if w[4] in selected]
         if not workloads:
             parser.error("the selected components match no workloads")
     if args.serial_only:
         workloads = [w for w in workloads if w[4] not in PARALLEL_COMPONENTS]
         if not workloads:
             parser.error("the selected components match no workloads")
+    # Resolve the native kernel tier up front: first use runs the provider
+    # build/load plus every per-kernel verifier, a one-time cost that must
+    # not land inside the first timed repeat of a --repeats 1 replay.
+    native_status()
+
     results = []
     for name, n, d, k, component in workloads:
         result = run_workload(name, n, d, k, component, args.repeats)
@@ -549,6 +637,7 @@ def main(argv=None) -> int:
         "python": platform.python_version(),
         "numpy": np.__version__,
         "regression_tolerance": REGRESSION_TOLERANCE,
+        "native": native_status(),
         "workloads": results,
     }
 

@@ -7,4 +7,12 @@ The project metadata lives in ``pyproject.toml``; this file only exists so
 
 from setuptools import setup
 
-setup()
+setup(
+    extras_require={
+        # The compiled kernel tier prefers numba when importable and
+        # otherwise compiles its C translation unit with the system cc;
+        # both degrade to verified pure-numpy fallbacks (see
+        # src/repro/native/README.md), so the extra is genuinely optional.
+        "native": ["numba"],
+    }
+)

@@ -46,6 +46,7 @@ from repro.core import (
 )
 from repro.evaluation import coreset_distortion
 from repro.evaluation.advisor import diagnose_dataset, recommend_sampler
+from repro.native import native_status
 from repro.parallel import (
     BACKENDS,
     ShardedCoresetBuilder,
@@ -224,6 +225,14 @@ def _command_compress(arguments: argparse.Namespace) -> int:
         method=np.array(coreset.method),
         k=np.array(arguments.k),
     )
+    status = native_status()
+    kernel_tier = {
+        "kernel_tier": status["tier"],
+        "kernel_providers": {
+            name: info["provider"] for name, info in status["kernels"].items()
+        },
+        "numba_version": status["providers"].get("numba", {}).get("numba_version"),
+    }
     summary = {
         "input_points": n_points,
         "coreset_points": coreset.size,
@@ -232,6 +241,7 @@ def _command_compress(arguments: argparse.Namespace) -> int:
         "output": arguments.output,
         "seconds": round(elapsed, 4),
         **execution,
+        **kernel_tier,
     }
     print(json.dumps(summary, indent=2))
     return 0

@@ -79,6 +79,7 @@ from repro.geometry.distances import (
     _chunk_rows,
     squared_point_to_set_distances,
 )
+from repro.native import get_kernel
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_integer, check_points, check_weights
 
@@ -293,10 +294,17 @@ def update_centers(
     k = centers.shape[0]
     d = points.shape[1]
     new_centers = centers.copy()
-    counts = np.bincount(assignment, weights=weights, minlength=k)
     if weighted is None:
         weighted = weights[:, None] * points
-    if codes is not None:
+    sums_kernel = get_kernel("lloyd_update_sums")
+    if sums_kernel is not None:
+        # One fused native pass: per-cluster weight totals and weighted
+        # coordinate sums accumulated in ascending point order — the exact
+        # accumulation order of every bincount below, so the results are
+        # bit-identical (pinned by the registry's resolution verifier).
+        counts, sums = sums_kernel(weighted, weights, assignment, k)
+    elif codes is not None:
+        counts = np.bincount(assignment, weights=weights, minlength=k)
         # One flat bincount over (cluster, coordinate) codes.  Bins are
         # visited in ascending point order exactly like the per-coordinate
         # bincounts, so the per-cluster partial sums are bit-identical.
@@ -304,6 +312,7 @@ def update_centers(
             k, d
         )
     else:
+        counts = np.bincount(assignment, weights=weights, minlength=k)
         sums = np.empty_like(centers)
         for coordinate in range(d):
             sums[:, coordinate] = np.bincount(
@@ -434,6 +443,15 @@ def _run_pruned(
         np.subtract(points, delta_buffer, out=delta_buffer)
         return np.einsum("ij,ij->i", delta_buffer, delta_buffer, out=target)
 
+    # Compiled-tier kernels (None in fallback mode — the inline numpy
+    # passes below then run unchanged).  Every kernel is pinned
+    # bit-identical to its numpy counterpart at registry resolution, so the
+    # centers/assignment/cost/iteration trajectory is the same in both
+    # modes; only the internal bound bookkeeping of directly reassigned
+    # points (and with it ``recompute_fraction``) may differ.
+    refresh_kernel = get_kernel("lloyd_refresh_bounds")
+    candidate_kernel = get_kernel("lloyd_candidate_eval")
+
     previous_cost = np.inf
     cost = np.inf
     converged = False
@@ -456,17 +474,27 @@ def _run_pruned(
         cumulative.append(cumulative[-1] + drift)
         current = cumulative[-1]
 
-        squared = _refresh_squared(squared)
-        upper = np.sqrt(squared) * (1.0 + _BOUND_SAFETY)
         # Phase one: the seed engine's O(n) in-place erosion by the largest
         # per-iteration drift — a sound relaxation of the epoch bound below
         # (a sum of per-iteration maxima dominates every center's own
         # cumulative drift).  Survivors are re-examined against the exact
         # epoch-anchored bound, which is also written back here, re-arming
         # the eroded bound so cleared points do not fail phase one forever.
-        if drift.size:
-            eroded -= float(drift.max()) * (1.0 + _BOUND_SAFETY)
-        maybe = np.flatnonzero(upper >= eroded)
+        decrement = float(drift.max()) * (1.0 + _BOUND_SAFETY) if drift.size else 0.0
+        center_norms = None  # lazily materialised for the candidate kernel
+        if refresh_kernel is not None:
+            # Fused native pass: refresh the assigned distances (einsum
+            # accumulation order and all), rebuild the upper bounds, erode,
+            # and emit the phase-one survivors in one sweep over the points.
+            upper, maybe = refresh_kernel(
+                points, centers, assignment, decrement, 1.0 + _BOUND_SAFETY, squared, eroded
+            )
+        else:
+            squared = _refresh_squared(squared)
+            upper = np.sqrt(squared) * (1.0 + _BOUND_SAFETY)
+            if drift.size:
+                eroded -= decrement
+            maybe = np.flatnonzero(upper >= eroded)
         suspects = maybe
         if maybe.size and k >= 2:
             # Per-epoch drift tables, materialised only for epochs a phase
@@ -527,26 +555,80 @@ def _run_pruned(
                 if np.any(real_s):
                     tightened = base_second[suspects] - deltas[rows_s, s_ids]
                     bounds[surv_rows[real_s], s_ids[real_s]] = tightened[real_s]
-                candidate = bounds <= upper[suspects][:, None]
-                candidate[surv_rows, assignment[suspects]] = False
-                pair_row, pair_center = np.nonzero(candidate)
-                if pair_row.size > 4 * suspects.size:
-                    # Bounds too weak to localise the threat (many candidate
-                    # centers per suspect): the blocked kernel is cheaper
-                    # than evaluating every pair.
-                    pass
-                elif pair_row.size:
-                    pair_points = points[suspects[pair_row]]
-                    pair_delta = pair_points - centers[pair_center]
-                    pair_squared = np.einsum("ij,ij->i", pair_delta, pair_delta)
-                    beaten = pair_squared <= squared[suspects[pair_row]] * (
-                        1.0 + _PROVE_STAY_MARGIN
+                if candidate_kernel is not None:
+                    # Native pass: evaluates every (suspect, candidate)
+                    # pair with the engine's exact einsum accumulation and
+                    # classifies each suspect — cleared (the numpy pass's
+                    # "stays" set, bit for bit), directly reassigned (the
+                    # runner-up gap clears an absolute-scale guard so the
+                    # blocked argmin must agree), or ambiguous.  ``None``
+                    # is the same too-many-pairs bail as below: every
+                    # suspect falls through to the blocked kernel.
+                    if center_norms is None:
+                        center_norms = np.einsum("ij,ij->i", centers, centers)
+                    outcome = candidate_kernel(
+                        points,
+                        centers,
+                        center_norms,
+                        suspects,
+                        np.ascontiguousarray(bounds),
+                        upper[suspects],
+                        squared,
+                        assignment,
+                        _PROVE_STAY_MARGIN,
                     )
-                    stays = np.ones(suspects.size, dtype=bool)
-                    stays[pair_row[beaten]] = False
-                    suspects = suspects[~stays]
+                    if outcome is not None:
+                        result, runner_sq = outcome
+                        ambiguous = result == -1
+                        moved = result != assignment[suspects]
+                        moved &= ~ambiguous
+                        if np.any(moved):
+                            # Direct reassignment without the blocked
+                            # k-scan.  The evaluated runner-up distance
+                            # lower-bounds every non-assigned center (the
+                            # unevaluated ones sit above ``upper``), so it
+                            # rebuilds a sound — if slightly loose — bound
+                            # state; the sentinel runner-up id charges the
+                            # worst per-epoch drift, exactly like a mass
+                            # recompute.
+                            rows = suspects[moved]
+                            targets = result[moved]
+                            assignment[rows] = targets
+                            codes[rows] = (
+                                targets[:, None] * points.shape[1] + coordinate_offsets
+                            )
+                            second_ids[rows] = k
+                            floor = np.sqrt(runner_sq[moved]) * (1.0 - _BOUND_SAFETY)
+                            base_second[rows] = floor
+                            base_third[rows] = floor
+                            eroded[rows] = floor
+                            epoch[rows] = iterations
+                            squared[rows] = assigned_squared_distances(
+                                points[rows], centers, targets
+                            )
+                            recomputed += rows.size
+                        suspects = suspects[ambiguous]
                 else:
-                    suspects = suspects[:0]
+                    candidate = bounds <= upper[suspects][:, None]
+                    candidate[surv_rows, assignment[suspects]] = False
+                    pair_row, pair_center = np.nonzero(candidate)
+                    if pair_row.size > 4 * suspects.size:
+                        # Bounds too weak to localise the threat (many
+                        # candidate centers per suspect): the blocked kernel
+                        # is cheaper than evaluating every pair.
+                        pass
+                    elif pair_row.size:
+                        pair_points = points[suspects[pair_row]]
+                        pair_delta = pair_points - centers[pair_center]
+                        pair_squared = np.einsum("ij,ij->i", pair_delta, pair_delta)
+                        beaten = pair_squared <= squared[suspects[pair_row]] * (
+                            1.0 + _PROVE_STAY_MARGIN
+                        )
+                        stays = np.ones(suspects.size, dtype=bool)
+                        stays[pair_row[beaten]] = False
+                        suspects = suspects[~stays]
+                    else:
+                        suspects = suspects[:0]
         if suspects.size:
             recompute = suspects
             if recompute.size < min(n, _MIN_RECOMPUTE_ROWS):

@@ -112,6 +112,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.geometry.grid import _hash_multipliers, hash_rows
+from repro.native import get_kernel
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_integer, check_points
 
@@ -536,7 +537,17 @@ def _csr_group(keys: np.ndarray, scratch: Optional[tuple] = None) -> tuple:
     per-cell Python splitting loop.  ``scratch`` (see :func:`_csr_scratch`)
     lets a caller grouping many levels of the same point set reuse the
     intermediate work arrays; only the three returned arrays are fresh.
+
+    When the compiled tier serves the ``csr_group`` kernel the whole body —
+    sort, boundary detection, rank labelling, offsets — runs as one fused
+    native call (pinned bit-identical to this pipeline by the registry's
+    resolution-time verifier and the forced-fallback golden tests);
+    ``scratch`` is ignored on that path, the kernel keeps per-thread work
+    buffers of its own.
     """
+    kernel = get_kernel("csr_group")
+    if kernel is not None:
+        return kernel(np.ascontiguousarray(keys))
     n = keys.shape[0]
     if scratch is None:
         scratch = _csr_scratch(n)

@@ -1,0 +1,43 @@
+"""Optional compiled kernel tier (see ``src/repro/native/README.md``).
+
+Public surface:
+
+* :func:`radix_argsort` — stable uint64/int64 argsort (quadtree grouping).
+* :func:`candidate_eval_kernel` — the native Lloyd warm-phase kernel, or
+  ``None`` when the tier is in fallback mode.
+* :func:`native_status` — introspection: mode, providers, per-kernel routing.
+* :func:`use_native` / :func:`refresh` — tier control for tests and daemons.
+* ``REPRO_NATIVE`` environment flag (:data:`~repro.native.registry.ENV_FLAG`):
+  ``0`` forces the pure-numpy fallback everywhere, a provider name
+  (``numba``/``cc``) restricts resolution to that provider.
+
+Every kernel is pinned bit-identical to its numpy counterpart in both tier
+modes, so the streaming, sharded, and async layers — and their equivalence
+suites — inherit the speedup with zero semantic drift.
+"""
+
+from repro.native.kernels import (
+    candidate_eval_kernel,
+    kernel_provider,
+    radix_argsort,
+    reference_candidate_eval,
+)
+from repro.native.registry import (
+    ENV_FLAG,
+    get_kernel,
+    native_status,
+    refresh,
+    use_native,
+)
+
+__all__ = [
+    "ENV_FLAG",
+    "candidate_eval_kernel",
+    "get_kernel",
+    "kernel_provider",
+    "native_status",
+    "radix_argsort",
+    "reference_candidate_eval",
+    "refresh",
+    "use_native",
+]

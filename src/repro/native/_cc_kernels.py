@@ -1,0 +1,727 @@
+"""The ``cc`` provider: a small C translation unit compiled on first use.
+
+The kernels live in one C source string below; :func:`load_kernels` writes
+it next to a content-hashed shared object under the build cache
+(``REPRO_NATIVE_CACHE``, defaulting to ``src/repro/native/_build/`` and
+degrading to a temporary directory when the package directory is not
+writable), compiles it with the first of ``cc``/``gcc``/``clang`` found on
+``PATH``, and binds the entry points through :mod:`ctypes`.  The shared
+object name embeds a hash of the source, so editing a kernel rebuilds
+automatically and concurrent processes (the shared-memory pool workers all
+import this module) reuse one artifact; the build itself goes through an
+atomic rename so racing builders never observe a half-written library.
+
+Floating-point contract: the translation unit is compiled with ``-O3
+-ffp-contract=off`` — no ``-ffast-math``, no FMA contraction — so every
+floating-point expression evaluates exactly as parenthesised.  The distance
+kernels lean on that: ``repro__einsum_sq`` reproduces, operation for
+operation, the two-lane SSE2 accumulation pattern of this numpy build's
+``einsum("ij,ij->i", delta, delta)`` (two independent partial sums over the
+even/odd lanes, a four-vector unrolled main loop folding right-to-left, and
+the scalar tail), so the squared distances the Lloyd kernels produce are
+bit-identical to the numpy hot path they replace.  The resolution-time
+verifiers check exactly that against live numpy calls — on a numpy build
+with a different SIMD dispatch the verifier fails and the registry quietly
+keeps the numpy path.
+
+Threading: ctypes releases the GIL around every call and the kernels use
+only stack and caller-provided memory, so concurrent quadtree fits on the
+async thread executor are safe.  The Python wrappers keep their work
+buffers in ``threading.local`` storage — reused across calls on the same
+thread, never shared between threads.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+import threading
+from pathlib import Path
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+from numpy.ctypeslib import ndpointer
+
+#: Build cache override (a directory path).
+ENV_CACHE = "REPRO_NATIVE_CACHE"
+
+_SOURCE = r"""
+#include <math.h>
+#include <stdint.h>
+#include <string.h>
+
+/* ------------------------------------------------------------------ radix */
+
+#define REPRO_RADIX_BITS 11
+#define REPRO_RADIX_BUCKETS 2048
+#define REPRO_RADIX_PASSES 6
+#define REPRO_RADIX_MASK 0x7FFu
+
+/* Stable LSD radix sort of (key, value) pairs, ascending by key with ties
+ * kept in input order.  Six 11-bit counting passes ping-pong between the
+ * primary and scratch arrays; all histograms are gathered in one pre-pass
+ * and any pass whose digit is constant across the input is skipped.
+ * Returns 0 when the sorted data ended in the primary arrays and 1 when it
+ * ended in the scratch arrays (an even/odd number of executed passes).
+ * Only stack memory is used beyond the caller's arrays, so the routine is
+ * reentrant (the ~96 KiB of histograms live on the stack). */
+static int repro__radix_sort_pairs(uint64_t *keys, int64_t *values,
+                                   uint64_t *keys_scratch,
+                                   int64_t *values_scratch, int64_t n)
+{
+    int64_t hist[REPRO_RADIX_PASSES][REPRO_RADIX_BUCKETS];
+    int64_t i;
+    int pass;
+    int flipped = 0;
+    uint64_t *src_keys = keys;
+    uint64_t *dst_keys = keys_scratch;
+    int64_t *src_values = values;
+    int64_t *dst_values = values_scratch;
+    memset(hist, 0, sizeof(hist));
+    for (i = 0; i < n; ++i) {
+        const uint64_t key = keys[i];
+        for (pass = 0; pass < REPRO_RADIX_PASSES; ++pass)
+            ++hist[pass][(key >> (REPRO_RADIX_BITS * pass)) & REPRO_RADIX_MASK];
+    }
+    for (pass = 0; pass < REPRO_RADIX_PASSES; ++pass) {
+        const int64_t *count = hist[pass];
+        const int shift = REPRO_RADIX_BITS * pass;
+        int64_t offsets[REPRO_RADIX_BUCKETS];
+        int64_t running = 0;
+        int live = 0;
+        int v;
+        for (v = 0; v < REPRO_RADIX_BUCKETS; ++v)
+            if (count[v] && ++live > 1)
+                break;
+        if (live <= 1)
+            continue; /* every key shares this digit: the pass is identity */
+        for (v = 0; v < REPRO_RADIX_BUCKETS; ++v) {
+            offsets[v] = running;
+            running += count[v];
+        }
+        for (i = 0; i < n; ++i) {
+            const uint64_t key = src_keys[i];
+            const int64_t slot = offsets[(key >> shift) & REPRO_RADIX_MASK]++;
+            dst_keys[slot] = key;
+            dst_values[slot] = src_values[i];
+        }
+        {
+            uint64_t *swap_keys = src_keys;
+            int64_t *swap_values = src_values;
+            src_keys = dst_keys;
+            dst_keys = swap_keys;
+            src_values = dst_values;
+            dst_values = swap_values;
+        }
+        flipped = !flipped;
+    }
+    return flipped;
+}
+
+/* Stable argsort of uint64 keys: the permutation of a stable comparison
+ * argsort, byte for byte.  `order_scratch`, `shadow`, `shadow_scratch` are
+ * caller-provided work arrays of length n. */
+void repro_radix_argsort_u64(const uint64_t *keys, int64_t n, int64_t *order,
+                             int64_t *order_scratch, uint64_t *shadow,
+                             uint64_t *shadow_scratch)
+{
+    int64_t i;
+    for (i = 0; i < n; ++i) {
+        order[i] = i;
+        shadow[i] = keys[i];
+    }
+    if (repro__radix_sort_pairs(shadow, order, shadow_scratch, order_scratch, n))
+        memcpy(order, order_scratch, (size_t)n * sizeof(int64_t));
+}
+
+/* Fused grouping: the whole body of quadtree _csr_group in one call.
+ *
+ * Outputs (all caller-allocated): cell_ids[n] gets the rank of each point's
+ * key among the distinct keys in ascending unsigned order; order[n] gets
+ * the point indices sorted by rank with ties in ascending input order (the
+ * stable argsort permutation); offsets[0..m] the CSR boundaries.  Returns
+ * m, the number of distinct keys.
+ *
+ * Two strategies, picked at runtime:
+ *
+ * Hash fast path — when the number of distinct keys m stays at or below
+ * n/8 (deep duplicate-heavy levels near the root of the tree), a linear
+ * probing table (golden-ratio multiplicative hash on the high bits of
+ * table_size, a power of two) maps each key to a first-seen group id in
+ * one pass, only the m distinct keys go through the radix sort, and a
+ * counting scatter rebuilds order/offsets.  The moment the distinct count
+ * exceeds the threshold the path aborts and falls through to the general
+ * sort, so adversarial inputs only pay one wasted O(n) probe pass.
+ *
+ * Radix path — sort (key, index) pairs, then a single fused pass walks the
+ * sorted keys emitting boundary offsets and scattering the rank through
+ * the sorted order, replacing the five numpy passes (take/not_equal/
+ * cumsum/fancy-store/flatnonzero) that followed the argsort.
+ *
+ * Work arrays: order_scratch/shadow/shadow_scratch/slot_index/aux length n,
+ * hash_keys/hash_payload length table_size. */
+int64_t repro_csr_group_u64(const uint64_t *keys, int64_t n, int64_t *cell_ids,
+                            int64_t *order, int64_t *offsets,
+                            int64_t *order_scratch, uint64_t *shadow,
+                            uint64_t *shadow_scratch, int64_t *slot_index,
+                            int64_t *aux, uint64_t *hash_keys,
+                            int64_t *hash_payload, int64_t table_size)
+{
+    const int64_t threshold = n >> 3;
+    int64_t i;
+    if (threshold > 0) {
+        const uint64_t mask = (uint64_t)(table_size - 1);
+        int shift = 64;
+        int64_t m = 0;
+        {
+            int64_t t = table_size;
+            while (t > 1) {
+                t >>= 1;
+                --shift;
+            }
+        }
+        memset(hash_payload, 0xFF, (size_t)table_size * sizeof(int64_t));
+        for (i = 0; i < n; ++i) {
+            const uint64_t key = keys[i];
+            uint64_t slot = (key * UINT64_C(0x9E3779B97F4A7C15)) >> shift;
+            int64_t gid;
+            for (;;) {
+                const int64_t payload = hash_payload[slot];
+                if (payload < 0) {
+                    if (m >= threshold)
+                        goto radix_path; /* too many distinct keys */
+                    hash_keys[slot] = key;
+                    hash_payload[slot] = m;
+                    shadow[m] = key;
+                    gid = m++;
+                    break;
+                }
+                if (hash_keys[slot] == key) {
+                    gid = payload;
+                    break;
+                }
+                slot = (slot + 1) & mask;
+            }
+            slot_index[i] = gid;
+        }
+        /* Rank the m distinct keys: sort them with their group ids, then
+         * invert into a gid -> rank table (cell_ids doubles as scratch for
+         * it; the final scatter overwrites every entry). */
+        for (i = 0; i < m; ++i)
+            order_scratch[i] = i;
+        {
+            const int flipped = repro__radix_sort_pairs(
+                shadow, order_scratch, shadow_scratch, aux, m);
+            const int64_t *sorted_gid = flipped ? aux : order_scratch;
+            int64_t r;
+            for (r = 0; r < m; ++r)
+                cell_ids[sorted_gid[r]] = r;
+        }
+        for (i = 0; i < m; ++i)
+            hash_payload[i] = 0; /* reuse as per-rank counts */
+        for (i = 0; i < n; ++i) {
+            const int64_t r = cell_ids[slot_index[i]];
+            slot_index[i] = r;
+            ++hash_payload[r];
+        }
+        {
+            int64_t running = 0;
+            int64_t r;
+            for (r = 0; r < m; ++r) {
+                offsets[r] = running;
+                aux[r] = running; /* scatter cursor */
+                running += hash_payload[r];
+            }
+            offsets[m] = n;
+        }
+        for (i = 0; i < n; ++i) {
+            const int64_t r = slot_index[i];
+            order[aux[r]++] = i;
+            cell_ids[i] = r;
+        }
+        return m;
+    }
+radix_path:
+    for (i = 0; i < n; ++i) {
+        order[i] = i;
+        shadow[i] = keys[i];
+    }
+    {
+        const int flipped = repro__radix_sort_pairs(
+            shadow, order, shadow_scratch, order_scratch, n);
+        const uint64_t *sorted_keys = flipped ? shadow_scratch : shadow;
+        const int64_t *sorted_order = flipped ? order_scratch : order;
+        int64_t n_cells = 0;
+        for (i = 0; i < n; ++i) {
+            if (i == 0 || sorted_keys[i] != sorted_keys[i - 1])
+                offsets[n_cells++] = i;
+            cell_ids[sorted_order[i]] = n_cells - 1;
+        }
+        offsets[n_cells] = n;
+        if (flipped)
+            memcpy(order, order_scratch, (size_t)n * sizeof(int64_t));
+        return n_cells;
+    }
+}
+
+/* ------------------------------------------------------------------ lloyd */
+
+/* The squared distance between two d-vectors, accumulated in exactly the
+ * order of this numpy build's einsum("ij,ij->i", delta, delta) row kernel:
+ * the SSE2 (vstep 2, no FMA) loop keeps one partial sum per lane -- lane 0
+ * the even offsets, lane 1 the odd -- unrolls four vectors and folds them
+ * right to left onto the accumulator, then drains pairs and a possible
+ * scalar remainder (which contributes an explicit 0.0 to the odd lane)
+ * before adding the two lanes.  Compiled with -ffp-contract=off nothing is
+ * fused or reassociated, so the result is bit-identical to numpy's. */
+static double repro__einsum_sq(const double *p, const double *c, int64_t d)
+{
+    double l0 = 0.0;
+    double l1 = 0.0;
+    int64_t t = 0;
+    for (; t + 8 <= d; t += 8) {
+        const double d0 = p[t] - c[t];
+        const double d1 = p[t + 1] - c[t + 1];
+        const double d2 = p[t + 2] - c[t + 2];
+        const double d3 = p[t + 3] - c[t + 3];
+        const double d4 = p[t + 4] - c[t + 4];
+        const double d5 = p[t + 5] - c[t + 5];
+        const double d6 = p[t + 6] - c[t + 6];
+        const double d7 = p[t + 7] - c[t + 7];
+        l0 = (d0 * d0) + ((d2 * d2) + ((d4 * d4) + ((d6 * d6) + l0)));
+        l1 = (d1 * d1) + ((d3 * d3) + ((d5 * d5) + ((d7 * d7) + l1)));
+    }
+    for (; t + 2 <= d; t += 2) {
+        const double d0 = p[t] - c[t];
+        const double d1 = p[t + 1] - c[t + 1];
+        l0 = (d0 * d0) + l0;
+        l1 = (d1 * d1) + l1;
+    }
+    if (t < d) {
+        const double d0 = p[t] - c[t];
+        l0 = (d0 * d0) + l0;
+        l1 = 0.0 + l1;
+    }
+    return l0 + l1;
+}
+
+/* Fused per-iteration bound refresh of the pruned Lloyd engine: for every
+ * point recompute the exact assigned squared distance (einsum-identical),
+ * derive the inflated upper bound, erode the cached lower bound by the
+ * iteration's largest center drift, and emit the phase-one suspects
+ * (upper >= eroded) in ascending order.  squared/eroded are updated in
+ * place; returns the suspect count. */
+int64_t repro_lloyd_refresh_bounds(const double *points, const double *centers,
+                                   const int64_t *assignment, int64_t n,
+                                   int64_t d, double decrement,
+                                   double upper_scale, double *squared,
+                                   double *upper, double *eroded,
+                                   int64_t *suspects)
+{
+    int64_t i;
+    int64_t count = 0;
+    for (i = 0; i < n; ++i) {
+        const double sq =
+            repro__einsum_sq(points + i * d, centers + assignment[i] * d, d);
+        const double u = sqrt(sq) * upper_scale;
+        const double e = eroded[i] - decrement;
+        squared[i] = sq;
+        upper[i] = u;
+        eroded[i] = e;
+        if (u >= e)
+            suspects[count++] = i;
+    }
+    return count;
+}
+
+/* Per-candidate exact-distance evaluation for Lloyd's warm phase.
+ *
+ * A candidate of suspect row r is a non-assigned center j whose lower
+ * bound bounds[r*k + j] does not exceed upper[r].  A pre-pass counts the
+ * candidate pairs and returns -1 when they exceed 4 per suspect on average
+ * -- the numpy prove-stay bail, where the blocked kernel is cheaper -- so
+ * the caller falls through with the suspect set untouched.
+ *
+ * Otherwise each suspect's candidates are evaluated with the einsum
+ * replica and the suspect is classified:
+ *
+ *   result[r] = assignment        no candidate reaches the assigned
+ *                                 distance within the relative margin (the
+ *                                 numpy pass's "stays" set, bit for bit);
+ *   result[r] = j (!= assignment) candidate j wins and the runner-up gap
+ *                                 clears an absolute-scale guard wide
+ *                                 enough that the blocked GEMM argmin
+ *                                 (norm expansion, clamping, lowest-index
+ *                                 ties) must agree;
+ *   result[r] = -1                beaten but ambiguous: the caller routes
+ *                                 the suspect through the authoritative
+ *                                 blocked kernel.
+ *
+ * second_sq[r] gets the second-smallest evaluated squared distance (the
+ * assigned distance participates; +inf when the suspect stays), from which
+ * the caller rebuilds a sound runner-up bound for reassigned points. */
+int64_t repro_lloyd_candidate_eval(const double *points, const double *centers,
+                                   const double *center_norms, int64_t d,
+                                   int64_t k, const int64_t *suspects,
+                                   int64_t s, const double *bounds,
+                                   const double *upper,
+                                   const double *assigned_sq,
+                                   const int64_t *assignment, double margin,
+                                   int64_t *result, double *second_sq)
+{
+    int64_t r;
+    int64_t pairs = 0;
+    for (r = 0; r < s; ++r) {
+        const double *bound_row = bounds + r * k;
+        const double u = upper[r];
+        const int64_t a = assignment[suspects[r]];
+        int64_t j;
+        for (j = 0; j < k; ++j)
+            if (j != a && bound_row[j] <= u)
+                ++pairs;
+    }
+    if (pairs > 4 * s)
+        return -1;
+    for (r = 0; r < s; ++r) {
+        const int64_t i = suspects[r];
+        const int64_t a = assignment[i];
+        const double *point = points + i * d;
+        const double *bound_row = bounds + r * k;
+        const double u = upper[r];
+        const double asq = assigned_sq[i];
+        const double stay_limit = asq * (1.0 + margin);
+        double best = asq;
+        double second = 1.0 / 0.0;
+        double cn_max = center_norms[a];
+        int64_t best_j = a;
+        int64_t beaten = 0;
+        int64_t j;
+        for (j = 0; j < k; ++j) {
+            double dist;
+            if (j == a || bound_row[j] > u)
+                continue;
+            dist = repro__einsum_sq(point, centers + j * d, d);
+            if (dist <= stay_limit)
+                ++beaten;
+            if (center_norms[j] > cn_max)
+                cn_max = center_norms[j];
+            if (dist < best) {
+                second = best;
+                best = dist;
+                best_j = j;
+            } else if (dist < second) {
+                second = dist;
+            }
+        }
+        if (beaten == 0) {
+            result[r] = a;
+            second_sq[r] = 1.0 / 0.0;
+            continue;
+        }
+        second_sq[r] = second;
+        if (best_j != a) {
+            /* The guard must dominate the blocked kernel's rounding: its
+             * distances come from pn + cn - 2*dot with error on the order
+             * of eps * (pn + cn + dist), so a runner-up gap of margin
+             * (~1e-9) times that scale leaves the argmin no room to
+             * disagree -- including its lowest-index tie-breaking, which
+             * needs strict separation, not just a different winner. */
+            double pn = 0.0;
+            int64_t t;
+            for (t = 0; t < d; ++t)
+                pn += point[t] * point[t];
+            result[r] =
+                (second - best > margin * (pn + cn_max + second)) ? best_j : -1;
+        } else {
+            result[r] = -1;
+        }
+    }
+    return 0;
+}
+
+/* The M-step accumulation: per-cluster weight totals and weighted
+ * coordinate sums, visiting points in ascending index order -- the exact
+ * accumulation order of np.bincount over flat (cluster, coordinate) codes,
+ * so the partial sums are bit-identical to update_centers' numpy path. */
+void repro_lloyd_update_sums(const double *weighted, const double *weights,
+                             const int64_t *assignment, int64_t n, int64_t d,
+                             int64_t k, double *counts, double *sums)
+{
+    int64_t i;
+    int64_t t;
+    memset(counts, 0, (size_t)k * sizeof(double));
+    memset(sums, 0, (size_t)(k * d) * sizeof(double));
+    for (i = 0; i < n; ++i) {
+        const int64_t a = assignment[i];
+        const double *row = weighted + i * d;
+        double *out = sums + a * d;
+        counts[a] += weights[i];
+        for (t = 0; t < d; ++t)
+            out[t] += row[t];
+    }
+}
+"""
+
+
+def _compiler() -> str:
+    for name in ("cc", "gcc", "clang"):
+        path = shutil.which(name)
+        if path is not None:
+            return path
+    raise RuntimeError("no C compiler (cc/gcc/clang) on PATH")
+
+
+def _cache_directory() -> Path:
+    override = os.environ.get(ENV_CACHE)
+    if override:
+        directory = Path(override)
+        directory.mkdir(parents=True, exist_ok=True)
+        return directory
+    directory = Path(__file__).resolve().parent / "_build"
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        probe = directory / ".write-probe"
+        probe.touch()
+        probe.unlink()
+        return directory
+    except OSError:
+        # Installed into a read-only site-packages: degrade to a per-process
+        # temporary directory (the build costs well under a second).
+        return Path(tempfile.mkdtemp(prefix="repro-native-"))
+
+
+def _build_library() -> Path:
+    digest = hashlib.sha256(_SOURCE.encode("utf-8")).hexdigest()[:16]
+    directory = _cache_directory()
+    library = directory / f"repro_native_{digest}.so"
+    if library.exists():
+        return library
+    compiler = _compiler()
+    source = directory / f"repro_native_{digest}.c"
+    source.write_text(_SOURCE)
+    handle, temporary = tempfile.mkstemp(
+        prefix=f"repro_native_{digest}_", suffix=".so", dir=str(directory)
+    )
+    os.close(handle)
+    try:
+        completed = subprocess.run(
+            [
+                compiler,
+                "-O3",
+                "-ffp-contract=off",  # the bit-identity contract: no FMA fusion
+                "-shared",
+                "-fPIC",
+                "-o",
+                temporary,
+                str(source),
+                "-lm",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        if completed.returncode != 0:
+            raise RuntimeError(
+                f"{compiler} failed ({completed.returncode}): {completed.stderr.strip()[:500]}"
+            )
+        os.replace(temporary, library)  # atomic: racing builders converge
+    finally:
+        if os.path.exists(temporary):
+            os.unlink(temporary)
+    return library
+
+
+#: Per-thread work buffer cache: the grouping kernels are called once per
+#: quadtree level inside threads of the async executor, and reallocating
+#: (and page-faulting) half a megabyte of scratch per call costs more than
+#: the kernel itself at moderate n.
+_LOCAL = threading.local()
+
+
+def _scratch(name: str, capacity: int, dtype) -> np.ndarray:
+    buffers = getattr(_LOCAL, "buffers", None)
+    if buffers is None:
+        buffers = _LOCAL.buffers = {}
+    array = buffers.get(name)
+    if array is None or array.shape[0] < capacity:
+        array = buffers[name] = np.empty(capacity, dtype=dtype)
+    return array
+
+
+def _hash_table_size(n: int) -> int:
+    # Next power of two at or above max(64, n/2): the fast path aborts past
+    # n/8 distinct keys, so the table never exceeds 25% load.
+    return 1 << max(64, n >> 1).bit_length()
+
+
+def load_kernels() -> Dict[str, Callable]:
+    """Compile (or reuse) the shared object and bind the kernel wrappers."""
+    library = ctypes.CDLL(str(_build_library()))
+
+    i64 = ctypes.c_int64
+    f64 = ctypes.c_double
+    pi64 = ndpointer(np.int64, flags="C_CONTIGUOUS")
+    pu64 = ndpointer(np.uint64, flags="C_CONTIGUOUS")
+    pf64 = ndpointer(np.float64, flags="C_CONTIGUOUS")
+
+    radix = library.repro_radix_argsort_u64
+    radix.restype = None
+    radix.argtypes = [pu64, i64, pi64, pi64, pu64, pu64]
+
+    group = library.repro_csr_group_u64
+    group.restype = i64
+    group.argtypes = [
+        pu64, i64, pi64, pi64, pi64, pi64, pu64, pu64, pi64, pi64, pu64, pi64, i64,
+    ]
+
+    refresh = library.repro_lloyd_refresh_bounds
+    refresh.restype = i64
+    refresh.argtypes = [pf64, pf64, pi64, i64, i64, f64, f64, pf64, pf64, pf64, pi64]
+
+    candidate = library.repro_lloyd_candidate_eval
+    candidate.restype = i64
+    candidate.argtypes = [
+        pf64, pf64, pf64, i64, i64, pi64, i64, pf64, pf64, pf64, pi64, f64, pi64, pf64,
+    ]
+
+    sums_kernel = library.repro_lloyd_update_sums
+    sums_kernel.restype = None
+    sums_kernel.argtypes = [pf64, pf64, pi64, i64, i64, i64, pf64, pf64]
+
+    def radix_argsort_u64(keys: np.ndarray) -> np.ndarray:
+        n = keys.shape[0]
+        order = np.empty(n, dtype=np.int64)
+        if n == 0:
+            return order
+        radix(
+            keys,
+            n,
+            order,
+            _scratch("order_scratch", n, np.int64),
+            _scratch("shadow", n, np.uint64),
+            _scratch("shadow_scratch", n, np.uint64),
+        )
+        return order
+
+    def csr_group_u64(keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        n = keys.shape[0]
+        if n < 2:
+            cell_ids = np.zeros(n, dtype=np.int64)
+            order = np.arange(n, dtype=np.int64)
+            offsets = np.arange(n + 1, dtype=np.int64)
+            return cell_ids, order, offsets
+        cell_ids = np.empty(n, dtype=np.int64)
+        order = np.empty(n, dtype=np.int64)
+        offsets = np.empty(n + 1, dtype=np.int64)
+        table_size = _hash_table_size(n)
+        n_cells = group(
+            keys,
+            n,
+            cell_ids,
+            order,
+            offsets,
+            _scratch("order_scratch", n, np.int64),
+            _scratch("shadow", n, np.uint64),
+            _scratch("shadow_scratch", n, np.uint64),
+            _scratch("slot_index", n, np.int64),
+            _scratch("aux", n, np.int64),
+            _scratch("hash_keys", table_size, np.uint64),
+            _scratch("hash_payload", table_size, np.int64),
+            table_size,
+        )
+        return cell_ids, order, offsets[: n_cells + 1].copy()
+
+    def lloyd_refresh_bounds(
+        points: np.ndarray,
+        centers: np.ndarray,
+        assignment: np.ndarray,
+        decrement: float,
+        upper_scale: float,
+        squared: np.ndarray,
+        eroded: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        n, d = points.shape
+        upper = np.empty(n, dtype=np.float64)
+        suspect_buffer = _scratch("suspects", n, np.int64)
+        count = refresh(
+            points,
+            centers,
+            assignment,
+            n,
+            d,
+            float(decrement),
+            float(upper_scale),
+            squared,
+            upper,
+            eroded,
+            suspect_buffer,
+        )
+        return upper, suspect_buffer[:count].copy()
+
+    def lloyd_candidate_eval(
+        points: np.ndarray,
+        centers: np.ndarray,
+        center_norms: np.ndarray,
+        suspects: np.ndarray,
+        bounds: np.ndarray,
+        upper: np.ndarray,
+        assigned_sq: np.ndarray,
+        assignment: np.ndarray,
+        margin: float,
+    ) -> Optional[tuple]:
+        s = suspects.shape[0]
+        result = np.empty(s, dtype=np.int64)
+        second_sq = np.empty(s, dtype=np.float64)
+        if s == 0:
+            return result, second_sq
+        outcome = candidate(
+            points,
+            centers,
+            center_norms,
+            points.shape[1],
+            centers.shape[0],
+            suspects,
+            s,
+            bounds,
+            upper,
+            assigned_sq,
+            assignment,
+            float(margin),
+            result,
+            second_sq,
+        )
+        if outcome == -1:
+            return None  # bounds too weak: caller keeps the blocked path
+        return result, second_sq
+
+    def lloyd_update_sums(
+        weighted: np.ndarray,
+        weights: np.ndarray,
+        assignment: np.ndarray,
+        k: int,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        n, d = weighted.shape
+        counts = np.empty(k, dtype=np.float64)
+        sums = np.empty((k, d), dtype=np.float64)
+        sums_kernel(weighted, weights, assignment, n, d, k, counts, sums.reshape(-1))
+        return counts, sums
+
+    return {
+        "radix_argsort": radix_argsort_u64,
+        "csr_group": csr_group_u64,
+        "lloyd_refresh_bounds": lloyd_refresh_bounds,
+        "lloyd_candidate_eval": lloyd_candidate_eval,
+        "lloyd_update_sums": lloyd_update_sums,
+    }
+
+
+def describe() -> Dict[str, object]:
+    """Cosmetic provider details for :func:`repro.native.native_status`."""
+    try:
+        return {"compiler": _compiler()}
+    except RuntimeError:
+        return {"compiler": None}

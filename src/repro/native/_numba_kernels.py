@@ -1,0 +1,296 @@
+"""The ``numba`` provider: JIT-compiled kernels, preferred when importable.
+
+Importing this module raises :class:`ImportError` when ``numba`` is not
+installed; the registry records the reason and falls through to the ``cc``
+provider (and ultimately the pure-numpy fallback).  The kernels implement
+exactly the algorithms of :mod:`repro.native._cc_kernels` — the registry
+runs the same bit-identity verifiers against them before first use, and the
+first verification call doubles as the JIT warm-up, so library callers
+never observe compilation latency mid-hot-path.
+
+``nopython`` compilation keeps default floating-point semantics
+(``fastmath=False``): the distance kernels' two-lane einsum-replica
+accumulation is neither reassociated nor FMA-contracted, matching the C
+provider and the numpy hot path bit for bit.  (The grouping kernel skips
+the C provider's hash fast path — the radix path alone already beats the
+numpy pipeline, and one implementation per strategy keeps the JIT surface
+small.)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+import numba  # noqa: F401  (ImportError marks the provider unavailable)
+from numba import njit
+
+_RADIX_BITS = 11
+_RADIX_BUCKETS = 2048
+_RADIX_PASSES = 6
+_RADIX_MASK = np.uint64(0x7FF)
+
+
+@njit(cache=False)
+def _radix_sort_pairs(keys, values, keys_scratch, values_scratch, n):
+    """Stable pair sort ascending by key; returns True when the sorted data
+    ended in the scratch arrays."""  # pragma: no cover - exercised via dispatch
+    hist = np.zeros((_RADIX_PASSES, _RADIX_BUCKETS), dtype=np.int64)
+    for i in range(n):
+        key = keys[i]
+        for b in range(_RADIX_PASSES):
+            hist[b, np.int64((key >> np.uint64(_RADIX_BITS * b)) & _RADIX_MASK)] += 1
+    offsets = np.empty(_RADIX_BUCKETS, dtype=np.int64)
+    flipped = False
+    for b in range(_RADIX_PASSES):
+        live = 0
+        for v in range(_RADIX_BUCKETS):
+            if hist[b, v] > 0:
+                live += 1
+                if live > 1:
+                    break
+        if live <= 1:
+            continue  # every key shares this digit: the pass is the identity
+        running = np.int64(0)
+        for v in range(_RADIX_BUCKETS):
+            offsets[v] = running
+            running += hist[b, v]
+        shift = np.uint64(_RADIX_BITS * b)
+        if flipped:
+            src_keys, dst_keys = keys_scratch, keys
+            src_values, dst_values = values_scratch, values
+        else:
+            src_keys, dst_keys = keys, keys_scratch
+            src_values, dst_values = values, values_scratch
+        for i in range(n):
+            key = src_keys[i]
+            v = np.int64((key >> shift) & _RADIX_MASK)
+            slot = offsets[v]
+            offsets[v] = slot + 1
+            dst_keys[slot] = key
+            dst_values[slot] = src_values[i]
+        flipped = not flipped
+    return flipped
+
+
+@njit(cache=False)
+def _radix_argsort_u64(keys):  # pragma: no cover - exercised via dispatch
+    n = keys.shape[0]
+    order = np.arange(n, dtype=np.int64)
+    shadow = keys.copy()
+    order_scratch = np.empty(n, dtype=np.int64)
+    shadow_scratch = np.empty(n, dtype=np.uint64)
+    if _radix_sort_pairs(shadow, order, shadow_scratch, order_scratch, n):
+        return order_scratch
+    return order
+
+
+@njit(cache=False)
+def _csr_group_u64(keys):  # pragma: no cover - exercised via dispatch
+    n = keys.shape[0]
+    cell_ids = np.empty(n, dtype=np.int64)
+    order = np.arange(n, dtype=np.int64)
+    offsets_full = np.empty(n + 1, dtype=np.int64)
+    shadow = keys.copy()
+    order_scratch = np.empty(n, dtype=np.int64)
+    shadow_scratch = np.empty(n, dtype=np.uint64)
+    flipped = _radix_sort_pairs(shadow, order, shadow_scratch, order_scratch, n)
+    if flipped:
+        sorted_keys, sorted_order = shadow_scratch, order_scratch
+    else:
+        sorted_keys, sorted_order = shadow, order
+    n_cells = 0
+    for i in range(n):
+        if i == 0 or sorted_keys[i] != sorted_keys[i - 1]:
+            offsets_full[n_cells] = i
+            n_cells += 1
+        cell_ids[sorted_order[i]] = n_cells - 1
+    offsets_full[n_cells] = n
+    if flipped:
+        order[:] = order_scratch
+    return cell_ids, order, offsets_full[: n_cells + 1].copy()
+
+
+@njit(cache=False)
+def _einsum_sq(p, c, base, d):  # pragma: no cover - exercised via dispatch
+    """Squared distance between ``p[base:base+d]`` and ``c``, accumulated in
+    the exact order of numpy's SSE2 einsum row kernel (two lanes, 4-vector
+    unroll folded right-to-left, pair drain, scalar tail)."""
+    l0 = 0.0
+    l1 = 0.0
+    t = 0
+    while t + 8 <= d:
+        d0 = p[base + t] - c[t]
+        d1 = p[base + t + 1] - c[t + 1]
+        d2 = p[base + t + 2] - c[t + 2]
+        d3 = p[base + t + 3] - c[t + 3]
+        d4 = p[base + t + 4] - c[t + 4]
+        d5 = p[base + t + 5] - c[t + 5]
+        d6 = p[base + t + 6] - c[t + 6]
+        d7 = p[base + t + 7] - c[t + 7]
+        l0 = (d0 * d0) + ((d2 * d2) + ((d4 * d4) + ((d6 * d6) + l0)))
+        l1 = (d1 * d1) + ((d3 * d3) + ((d5 * d5) + ((d7 * d7) + l1)))
+        t += 8
+    while t + 2 <= d:
+        d0 = p[base + t] - c[t]
+        d1 = p[base + t + 1] - c[t + 1]
+        l0 = (d0 * d0) + l0
+        l1 = (d1 * d1) + l1
+        t += 2
+    if t < d:
+        d0 = p[base + t] - c[t]
+        l0 = (d0 * d0) + l0
+        l1 = 0.0 + l1
+    return l0 + l1
+
+
+@njit(cache=False)
+def _lloyd_refresh_bounds(
+    points, centers, assignment, decrement, upper_scale, squared, eroded
+):  # pragma: no cover - exercised via dispatch
+    n, d = points.shape
+    flat = points.reshape(-1)
+    upper = np.empty(n, dtype=np.float64)
+    suspects = np.empty(n, dtype=np.int64)
+    count = 0
+    for i in range(n):
+        sq = _einsum_sq(flat, centers[assignment[i]], i * d, d)
+        u = np.sqrt(sq) * upper_scale
+        e = eroded[i] - decrement
+        squared[i] = sq
+        upper[i] = u
+        eroded[i] = e
+        if u >= e:
+            suspects[count] = i
+            count += 1
+    return upper, suspects[:count].copy()
+
+
+@njit(cache=False)
+def _lloyd_candidate_eval(
+    points,
+    centers,
+    center_norms,
+    suspects,
+    bounds,
+    upper,
+    assigned_sq,
+    assignment,
+    margin,
+):  # pragma: no cover - exercised via dispatch
+    s = suspects.shape[0]
+    k = centers.shape[0]
+    d = points.shape[1]
+    flat = points.reshape(-1)
+    result = np.empty(s, dtype=np.int64)
+    second_sq = np.empty(s, dtype=np.float64)
+    pairs = 0
+    for r in range(s):
+        a = assignment[suspects[r]]
+        u = upper[r]
+        for j in range(k):
+            if j != a and bounds[r, j] <= u:
+                pairs += 1
+    if pairs > 4 * s:
+        return False, result, second_sq
+    for r in range(s):
+        i = suspects[r]
+        a = assignment[i]
+        u = upper[r]
+        asq = assigned_sq[i]
+        stay_limit = asq * (1.0 + margin)
+        best = asq
+        second = np.inf
+        best_j = a
+        cn_max = center_norms[a]
+        beaten = 0
+        for j in range(k):
+            if j == a or bounds[r, j] > u:
+                continue
+            dist = _einsum_sq(flat, centers[j], i * d, d)
+            if dist <= stay_limit:
+                beaten += 1
+            if center_norms[j] > cn_max:
+                cn_max = center_norms[j]
+            if dist < best:
+                second = best
+                best = dist
+                best_j = j
+            elif dist < second:
+                second = dist
+        if beaten == 0:
+            result[r] = a
+            second_sq[r] = np.inf
+            continue
+        second_sq[r] = second
+        if best_j != a:
+            # Absolute-scale guard: the runner-up gap must dominate the
+            # blocked GEMM's rounding so its argmin (and its lowest-index
+            # tie-breaking) cannot disagree with the direct reassignment.
+            pn = 0.0
+            for t in range(d):
+                pn += points[i, t] * points[i, t]
+            if second - best > margin * (pn + cn_max + second):
+                result[r] = best_j
+            else:
+                result[r] = -1
+        else:
+            result[r] = -1
+    return True, result, second_sq
+
+
+@njit(cache=False)
+def _lloyd_update_sums(
+    weighted, weights, assignment, k
+):  # pragma: no cover - exercised via dispatch
+    n, d = weighted.shape
+    counts = np.zeros(k, dtype=np.float64)
+    sums = np.zeros((k, d), dtype=np.float64)
+    for i in range(n):
+        a = assignment[i]
+        counts[a] += weights[i]
+        for t in range(d):
+            sums[a, t] += weighted[i, t]
+    return counts, sums
+
+
+def _candidate_eval(
+    points,
+    centers,
+    center_norms,
+    suspects,
+    bounds,
+    upper,
+    assigned_sq,
+    assignment,
+    margin,
+) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    evaluated, result, second_sq = _lloyd_candidate_eval(
+        points,
+        centers,
+        center_norms,
+        suspects,
+        bounds,
+        upper,
+        assigned_sq,
+        assignment,
+        margin,
+    )
+    if not evaluated:
+        return None  # bounds too weak: caller keeps the blocked path
+    return result, second_sq
+
+
+def load_kernels() -> Dict[str, Callable]:
+    return {
+        "radix_argsort": _radix_argsort_u64,
+        "csr_group": _csr_group_u64,
+        "lloyd_refresh_bounds": _lloyd_refresh_bounds,
+        "lloyd_candidate_eval": _candidate_eval,
+        "lloyd_update_sums": _lloyd_update_sums,
+    }
+
+
+def describe() -> Dict[str, object]:
+    return {"numba_version": numba.__version__}

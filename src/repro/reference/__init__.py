@@ -2,9 +2,10 @@
 
 The modules in this package are verbatim snapshots of hot-path code at a
 fixed revision: the ``seed_*`` / ``naive_*`` modules freeze the original
-seed revision, and :mod:`~repro.reference.presweep_hotpath` freezes the
+seed revision, :mod:`~repro.reference.presweep_hotpath` freezes the
 PR-1..4 optimized implementations that the PR-5 constant-factor sweep
-replaced.  They are **not** maintained for speed and must not be used by
+replaced, and :mod:`~repro.reference.prenative_hotpath` freezes the PR-5/6
+numpy hot paths that the compiled kernel tier replaced.  They are **not** maintained for speed and must not be used by
 library code: their sole purpose is to
 
 * serve as the golden baseline for the equivalence tests (the optimized
@@ -19,6 +20,7 @@ that would silently move the goalposts of both the tests and the benchmark.
 """
 
 from repro.reference.naive_lloyd import naive_kmeans
+from repro.reference.prenative_hotpath import PreNativeQuadtreeEmbedding, prenative_kmeans
 from repro.reference.presweep_hotpath import PreSweepQuadtreeEmbedding, presweep_kmeans
 from repro.reference.seed_hotpath import SeedQuadtreeEmbedding, seed_fast_kmeans_plus_plus
 from repro.reference.seed_streaming import (
@@ -29,10 +31,12 @@ from repro.reference.seed_streaming import (
 )
 
 __all__ = [
+    "PreNativeQuadtreeEmbedding",
     "PreSweepQuadtreeEmbedding",
     "SeedQuadtreeEmbedding",
     "SeedMergeReduceTree",
     "naive_kmeans",
+    "prenative_kmeans",
     "presweep_kmeans",
     "seed_compute_spread",
     "seed_fast_kmeans_plus_plus",

@@ -1,0 +1,523 @@
+"""PR-5/6-revision snapshots of the quadtree fit and the pruned Lloyd engine.
+
+The compiled kernel tier (:mod:`repro.native`) replaces the per-level
+grouping sort of the quadtree fit and the warm-phase passes of the pruned
+Lloyd engine with native kernels.  Those kernels are pinned bit-identical
+to the numpy implementations they replace, so the only honest way to time
+them is against *those* implementations — not against the seed, whose
+columns the pre-existing bench rows already track.  This module freezes the
+numpy hot paths exactly as they stood before the native tier was wired in:
+
+* :class:`PreNativeQuadtreeEmbedding` — the PR-5 fit: incremental compact
+  keys served from the uint32 digit matrix and ``np.packbits`` pattern
+  LUTs, with every level grouped by a full ``np.argsort(kind="stable")``
+  (:func:`_prenative_csr_group`).
+* :func:`prenative_kmeans` — the PR-5 pruned engine: epoch-anchored
+  cumulative drift bounds, the take/subtract/einsum bound refresh, the
+  clear-only prove-stay pass, and the flat-bincount M-step.
+
+Freeze policy matches :mod:`repro.reference.presweep_hotpath`: bodies are
+copied, not imported, so optimizing the live modules cannot silently move
+the baseline.  Only primitives the native tier leaves untouched
+(``hash_rows``, ``compute_spread``, the chunk policy, validation, seeding)
+are imported.  Both snapshots remain bit-identical to their live
+counterparts in *either* tier mode — which is what lets
+``benchmarks/bench_perf_hotpaths.py`` time the native kernels as a pure
+constant-factor comparison (``quadtree_fit_native_*`` / ``lloyd_native_*``
+rows).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.clustering.kmeans_pp import kmeans_plus_plus
+from repro.clustering.lloyd import KMeansResult
+from repro.geometry.distances import DEFAULT_CHUNK_ELEMENTS, _chunk_rows
+from repro.geometry.grid import _hash_multipliers, hash_rows
+from repro.geometry.quadtree import compute_spread
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_integer, check_points, check_weights
+
+_EMPTY_INDICES = np.empty(0, dtype=np.int64)
+
+_MAX_DIGIT_LEVELS = 62
+_MAX_UINT32_DIGIT_LEVELS = 32
+
+_BOUND_SAFETY = 1e-12
+_MIN_RECOMPUTE_ROWS = 8
+_PROVE_STAY_MARGIN = 1e-9
+_PROVE_STAY_FRACTION = 8
+_THIRD_DISTANCE_ROW_LIMIT = 16384
+
+_PATTERN_LUT_CACHE: dict = {}
+
+
+def _pattern_tables(dimension: int) -> list:
+    tables = _PATTERN_LUT_CACHE.get(dimension)
+    if tables is None:
+        multipliers = _hash_multipliers(dimension).view(np.int64)
+        tables = []
+        for start in range(0, dimension, 8):
+            chunk = multipliers[start : start + 8]
+            lut = np.zeros(1, dtype=np.int64)
+            for multiplier in chunk:
+                with np.errstate(over="ignore"):
+                    lut = np.concatenate([lut, lut + multiplier])
+            if lut.shape[0] < 256:
+                lut = np.concatenate([lut] * (256 // lut.shape[0]))
+            tables.append(lut)
+        _PATTERN_LUT_CACHE[dimension] = tables
+    return tables
+
+
+# ----------------------------------------------------------------- quadtree
+@dataclass
+class PreNativeQuadtreeEmbedding:
+    """Frozen PR-5 quadtree: incremental keys + numpy stable argsort grouping."""
+
+    max_levels: int = 32
+    seed: SeedLike = None
+    spread: Optional[float] = None
+    delta_: float = field(default=0.0, init=False)
+    shift_: Optional[np.ndarray] = field(default=None, init=False, repr=False)
+    origin_: Optional[np.ndarray] = field(default=None, init=False, repr=False)
+    dimension_: int = field(default=0, init=False)
+    n_points_: int = field(default=0, init=False)
+    level_cell_ids_: List[np.ndarray] = field(default_factory=list, init=False, repr=False)
+    level_order_: List[np.ndarray] = field(default_factory=list, init=False, repr=False)
+    level_offsets_: List[np.ndarray] = field(default_factory=list, init=False, repr=False)
+    level_distance_table_: Optional[np.ndarray] = field(default=None, init=False, repr=False)
+
+    def fit(self, points: np.ndarray) -> "PreNativeQuadtreeEmbedding":
+        points = check_points(points)
+        self.n_points_, self.dimension_ = points.shape
+        self.max_levels = check_integer(self.max_levels, name="max_levels")
+        generator = as_generator(self.seed)
+
+        self.origin_ = points[0].copy()
+        shifted_points = points - self.origin_[None, :]
+        squared_norms = np.einsum("ij,ij->i", shifted_points, shifted_points)
+        self.delta_ = float(math.sqrt(squared_norms.max()))
+        if self.delta_ <= 0:
+            self.delta_ = 1.0
+        shift_scalar = float(generator.uniform(0.0, self.delta_))
+        self.shift_ = np.full(self.dimension_, shift_scalar, dtype=np.float64)
+        shifted_points += shift_scalar
+
+        if self.spread is not None:
+            spread = float(self.spread)
+        else:
+            spread = compute_spread(points, seed=generator)
+        depth_cap = min(self.max_levels, max(1, int(math.ceil(math.log2(spread))) + 2))
+
+        self.level_cell_ids_ = []
+        self.level_order_ = []
+        self.level_offsets_ = []
+
+        scaled = shifted_points
+        scaled /= self.cell_side(0)
+        lattice = np.floor(scaled).astype(np.int64)
+        keys = hash_rows(lattice)
+        scratch = _prenative_csr_scratch(self.n_points_)
+        increment = np.empty(self.n_points_, dtype=np.int64)
+        frac = scaled
+        frac -= lattice
+        residual = None
+        digits = None
+        bits = None
+        tables = None
+        if depth_cap <= _MAX_UINT32_DIGIT_LEVELS:
+            residual = (frac * (2.0**depth_cap)).astype(np.uint32)
+            np.minimum(residual, np.uint32((1 << depth_cap) - 1), out=residual)
+            residual <<= np.uint32(32 - depth_cap)
+            tables = _pattern_tables(self.dimension_)
+            padded_width = (self.dimension_ + 7) // 8 * 8
+            flag_buffer = np.zeros((self.n_points_, padded_width), dtype=bool)
+            flag_view = flag_buffer[:, : self.dimension_]
+        elif depth_cap <= _MAX_DIGIT_LEVELS:
+            digits = (frac * (2.0**depth_cap)).astype(np.int64)
+            np.minimum(digits, (np.int64(1) << depth_cap) - 1, out=digits)
+            bits = np.empty_like(digits)
+            multipliers = _hash_multipliers(self.dimension_).view(np.int64)
+        for level in range(depth_cap + 1):
+            if level > 0:
+                if residual is not None:
+                    np.greater_equal(residual, np.uint32(0x80000000), out=flag_view)
+                    residual <<= np.uint32(1)
+                    packed = np.packbits(
+                        flag_buffer.reshape(-1), bitorder="little"
+                    ).reshape(self.n_points_, padded_width // 8)
+                    np.take(tables[0], packed[:, 0], out=increment)
+                    for byte, lut in enumerate(tables[1:], start=1):
+                        increment += lut[packed[:, byte]]
+                else:
+                    if digits is not None:
+                        np.right_shift(digits, np.int64(depth_cap - level), out=bits)
+                        np.bitwise_and(bits, np.int64(1), out=bits)
+                    else:
+                        flags = frac >= 0.5
+                        np.multiply(frac, 2.0, out=frac)
+                        frac -= flags
+                        bits = flags.astype(np.int64)
+                        multipliers = _hash_multipliers(self.dimension_).view(np.int64)
+                    np.matmul(bits, multipliers, out=increment)
+                np.left_shift(keys, np.uint64(1), out=keys)
+                keys += increment.view(np.uint64)
+            cell_ids, order, offsets = _prenative_csr_group(keys, scratch)
+            self.level_cell_ids_.append(cell_ids)
+            self.level_order_.append(order)
+            self.level_offsets_.append(offsets)
+            if offsets.shape[0] - 1 >= self.n_points_:
+                break
+
+        self._build_distance_table()
+        return self
+
+    def _build_distance_table(self) -> None:
+        depth = self.depth
+        table = np.zeros(depth + 1, dtype=np.float64)
+        for level in range(-1, depth - 1):
+            total = 0.0
+            for below in range(level + 1, depth):
+                total += self.edge_length(below)
+            table[level + 1] = 2.0 * total
+        self.level_distance_table_ = table
+
+    @property
+    def depth(self) -> int:
+        return len(self.level_cell_ids_)
+
+    def cell_side(self, level: int) -> float:
+        return (2.0 * self.delta_) * (2.0 ** (-level))
+
+    def edge_length(self, level: int) -> float:
+        return math.sqrt(self.dimension_) * self.cell_side(level)
+
+    def distance_from_shared_level(self, level: int) -> float:
+        if level >= self.depth - 1:
+            return 0.0
+        return float(self.level_distance_table_[max(level, -1) + 1])
+
+    def deepest_shared_level(self, first: int, second: int) -> int:
+        shared = -1
+        for level in range(self.depth):
+            if self.level_cell_ids_[level][first] == self.level_cell_ids_[level][second]:
+                shared = level
+            else:
+                break
+        return shared
+
+    def tree_distance(self, first: int, second: int) -> float:
+        if first == second:
+            return 0.0
+        return self.distance_from_shared_level(self.deepest_shared_level(first, second))
+
+    def cell_of(self, point_index: int, level: int) -> int:
+        return int(self.level_cell_ids_[level][point_index])
+
+    def points_in_cell(self, level: int, cell_id: int) -> np.ndarray:
+        offsets = self.level_offsets_[level]
+        if cell_id < 0 or cell_id >= offsets.shape[0] - 1:
+            return _EMPTY_INDICES
+        return self.level_order_[level][offsets[cell_id] : offsets[cell_id + 1]]
+
+    def occupied_cells(self, level: int) -> int:
+        return self.level_offsets_[level].shape[0] - 1
+
+
+def _prenative_csr_scratch(n: int) -> tuple:
+    return (
+        np.empty(n, dtype=np.uint64),
+        np.empty(n, dtype=bool),
+        np.empty(n, dtype=np.int64),
+    )
+
+
+def _prenative_csr_group(keys: np.ndarray, scratch: Optional[tuple] = None) -> tuple:
+    """Frozen copy of the PR-5 ``_csr_group`` (numpy stable argsort per level)."""
+    n = keys.shape[0]
+    if scratch is None:
+        scratch = _prenative_csr_scratch(n)
+    sorted_keys, starts, ids_in_order = scratch
+    order = np.argsort(keys, kind="stable")
+    np.take(keys, order, out=sorted_keys)
+    starts[0] = True
+    np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=starts[1:])
+    np.cumsum(starts, dtype=np.int64, out=ids_in_order)
+    ids_in_order -= 1
+    cell_ids = np.empty(n, dtype=np.int64)
+    cell_ids[order] = ids_in_order
+    boundaries = np.flatnonzero(starts)
+    offsets = np.empty(boundaries.shape[0] + 1, dtype=np.int64)
+    offsets[:-1] = boundaries
+    offsets[-1] = n
+    return cell_ids, order, offsets
+
+
+# -------------------------------------------------------------------- lloyd
+def _assigned_squared_distances(
+    points: np.ndarray, centers: np.ndarray, assignment: np.ndarray
+) -> np.ndarray:
+    delta = points - centers[assignment]
+    return np.einsum("ij,ij->i", delta, delta)
+
+
+def _nearest_three(
+    points: np.ndarray, centers: np.ndarray, third_limit: Optional[int] = None
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    n = points.shape[0]
+    k = centers.shape[0]
+    center_norms = np.einsum("ij,ij->i", centers, centers)
+    best = np.empty(n, dtype=np.float64)
+    second = np.empty(n, dtype=np.float64)
+    third = np.empty(n, dtype=np.float64)
+    assignment = np.empty(n, dtype=np.int64)
+    want_detail = third_limit is None or n <= third_limit
+    want_third = k >= 3 and want_detail
+    if not want_third:
+        third.fill(np.inf)
+    if k >= 2 and want_detail:
+        second_ids = np.empty(n, dtype=np.int64)
+    else:
+        second_ids = np.full(n, k, dtype=np.int64)
+    rows = _chunk_rows(k, DEFAULT_CHUNK_ELEMENTS)
+    for start in range(0, n, rows):
+        stop = min(start + rows, n)
+        block = points[start:stop]
+        block_norms = np.einsum("ij,ij->i", block, block)
+        squared = block_norms[:, None] + center_norms[None, :] - 2.0 * (block @ centers.T)
+        np.maximum(squared, 0.0, out=squared)
+        local = np.argmin(squared, axis=1)
+        local_rows = np.arange(stop - start)
+        assignment[start:stop] = local
+        best[start:stop] = squared[local_rows, local]
+        if k >= 2:
+            squared[local_rows, local] = np.inf
+            if want_detail:
+                runner = np.argmin(squared, axis=1)
+                second_ids[start:stop] = runner
+                second[start:stop] = squared[local_rows, runner]
+                if want_third:
+                    squared[local_rows, runner] = np.inf
+                    third[start:stop] = squared.min(axis=1)
+            else:
+                second[start:stop] = squared.min(axis=1)
+        else:
+            second[start:stop] = np.inf
+    return best, second, second_ids, third, assignment
+
+
+def _update_centers(
+    points: np.ndarray,
+    weights: np.ndarray,
+    assignment: np.ndarray,
+    squared: np.ndarray,
+    centers: np.ndarray,
+    generator: np.random.Generator,
+    weighted: np.ndarray,
+    codes: np.ndarray,
+) -> np.ndarray:
+    k = centers.shape[0]
+    d = points.shape[1]
+    n = points.shape[0]
+    new_centers = centers.copy()
+    counts = np.bincount(assignment, weights=weights, minlength=k)
+    sums = np.bincount(codes.ravel(), weights=weighted.ravel(), minlength=k * d).reshape(
+        k, d
+    )
+    occupied = counts > 0
+    new_centers[occupied] = sums[occupied] / counts[occupied, None]
+    empty = np.flatnonzero(~occupied)
+    if empty.size:
+        mass = weights * squared
+        total = float(mass.sum())
+        if total <= 0 or not np.isfinite(total):
+            replacement = generator.choice(n, size=empty.size, replace=empty.size > n)
+        else:
+            distinct = empty.size > 1 and int(np.count_nonzero(mass > 0)) >= empty.size
+            if distinct:
+                replacement = generator.choice(
+                    n, size=empty.size, replace=False, p=mass / total
+                )
+            else:
+                replacement = generator.choice(
+                    n, size=empty.size, replace=True, p=mass / total
+                )
+        new_centers[empty] = points[replacement]
+    return new_centers
+
+
+def prenative_kmeans(
+    points: np.ndarray,
+    k: int,
+    *,
+    weights: Optional[np.ndarray] = None,
+    max_iterations: int = 50,
+    tolerance: float = 1e-4,
+    initial_centers: Optional[np.ndarray] = None,
+    seed: SeedLike = None,
+) -> KMeansResult:
+    """Frozen PR-5 pruned Lloyd loop (numpy warm phase, clear-only prove-stay)."""
+    points = check_points(points)
+    n = points.shape[0]
+    k = check_integer(k, name="k")
+    weights = check_weights(weights, n)
+    generator = as_generator(seed)
+
+    if initial_centers is not None:
+        centers = np.asarray(initial_centers, dtype=np.float64).copy()
+        if centers.ndim != 2 or centers.shape[1] != points.shape[1]:
+            raise ValueError("initial_centers must be a (k, d) array matching the data dimension")
+    else:
+        centers = kmeans_plus_plus(points, min(k, n), weights=weights, z=2, seed=generator).centers
+
+    best_sq, second_sq, second_ids, third_sq, assignment = _nearest_three(
+        points, centers, third_limit=_THIRD_DISTANCE_ROW_LIMIT
+    )
+    base_second = np.sqrt(second_sq) * (1.0 - _BOUND_SAFETY)
+    base_third = np.where(np.isfinite(third_sq), np.sqrt(third_sq) * (1.0 - _BOUND_SAFETY), base_second)
+    epoch = np.zeros(n, dtype=np.int64)
+    eroded = base_second.copy()
+    cumulative = [np.zeros(k, dtype=np.float64)]
+    squared = _assigned_squared_distances(points, centers, assignment)
+    gather = np.empty_like(points)
+    delta_buffer = np.empty_like(points)
+    weighted = weights[:, None] * points
+    coordinate_offsets = np.arange(points.shape[1], dtype=np.int64)
+    codes = assignment[:, None] * points.shape[1] + coordinate_offsets
+
+    def _refresh_squared(target: np.ndarray) -> np.ndarray:
+        np.take(centers, assignment, axis=0, out=delta_buffer)
+        np.subtract(points, delta_buffer, out=delta_buffer)
+        return np.einsum("ij,ij->i", delta_buffer, delta_buffer, out=target)
+
+    previous_cost = np.inf
+    cost = np.inf
+    converged = False
+    iterations = 0
+    recomputed = 0
+    for iterations in range(1, max_iterations + 1):
+        new_centers = _update_centers(
+            points, weights, assignment, squared, centers, generator, weighted, codes
+        )
+        movement = new_centers - centers
+        drift = np.sqrt(np.einsum("ij,ij->i", movement, movement))
+        centers = new_centers
+        cumulative.append(cumulative[-1] + drift)
+        current = cumulative[-1]
+
+        squared = _refresh_squared(squared)
+        upper = np.sqrt(squared) * (1.0 + _BOUND_SAFETY)
+        if drift.size:
+            eroded -= float(drift.max()) * (1.0 + _BOUND_SAFETY)
+        maybe = np.flatnonzero(upper >= eroded)
+        suspects = maybe
+        if maybe.size and k >= 2:
+            epoch_m = epoch[maybe]
+            epoch_counts = np.bincount(epoch_m, minlength=len(cumulative))
+            present = np.flatnonzero(epoch_counts)
+            deltas = (current[None, :] - np.stack([cumulative[e] for e in present])) * (
+                1.0 + _BOUND_SAFETY
+            )
+            deltas = np.concatenate([deltas, deltas[:, :k].max(axis=1, keepdims=True)], axis=1)
+            position = np.empty(len(cumulative), dtype=np.int64)
+            position[present] = np.arange(present.size)
+            rows_m = position[epoch_m]
+            lower = base_second[maybe] - deltas[rows_m, second_ids[maybe]]
+            if k >= 3:
+                real = deltas[:, :k]
+                candidates = np.argpartition(real, k - 3, axis=1)[:, -3:]
+                values = np.take_along_axis(real, candidates, axis=1)
+                rank = np.argsort(values, axis=1)
+                ordered = np.take_along_axis(candidates, rank, axis=1)
+                sorted_values = np.take_along_axis(values, rank, axis=1)
+                j1, j2 = ordered[:, 2], ordered[:, 1]
+                v1, v2, v3 = sorted_values[:, 2], sorted_values[:, 1], sorted_values[:, 0]
+                m_j1, m_j2 = j1[rows_m], j2[rows_m]
+                m_assignment = assignment[maybe]
+                m_second = second_ids[maybe]
+                excluded1 = (m_j1 == m_assignment) | (m_j1 == m_second)
+                excluded2 = (m_j2 == m_assignment) | (m_j2 == m_second)
+                other_drift = np.where(
+                    excluded1,
+                    np.where(excluded2, v3[rows_m], v2[rows_m]),
+                    v1[rows_m],
+                )
+                np.minimum(lower, base_third[maybe] - other_drift, out=lower)
+            eroded[maybe] = lower
+            suspects = maybe[upper[maybe] >= lower]
+            if 0 < suspects.size <= max(_MIN_RECOMPUTE_ROWS, n // _PROVE_STAY_FRACTION):
+                rows_s = position[epoch[suspects]]
+                bounds = base_third[suspects][:, None] - deltas[rows_s, :k]
+                s_ids = second_ids[suspects]
+                surv_rows = np.arange(suspects.size)
+                real_s = s_ids < k
+                if np.any(real_s):
+                    tightened = base_second[suspects] - deltas[rows_s, s_ids]
+                    bounds[surv_rows[real_s], s_ids[real_s]] = tightened[real_s]
+                candidate = bounds <= upper[suspects][:, None]
+                candidate[surv_rows, assignment[suspects]] = False
+                pair_row, pair_center = np.nonzero(candidate)
+                if pair_row.size > 4 * suspects.size:
+                    pass
+                elif pair_row.size:
+                    pair_points = points[suspects[pair_row]]
+                    pair_delta = pair_points - centers[pair_center]
+                    pair_squared = np.einsum("ij,ij->i", pair_delta, pair_delta)
+                    beaten = pair_squared <= squared[suspects[pair_row]] * (
+                        1.0 + _PROVE_STAY_MARGIN
+                    )
+                    stays = np.ones(suspects.size, dtype=bool)
+                    stays[pair_row[beaten]] = False
+                    suspects = suspects[~stays]
+                else:
+                    suspects = suspects[:0]
+        if suspects.size:
+            recompute = suspects
+            if recompute.size < min(n, _MIN_RECOMPUTE_ROWS):
+                recompute = np.unique(
+                    np.concatenate([suspects, np.arange(min(n, _MIN_RECOMPUTE_ROWS))])
+                )
+            if recompute.size > n // 2:
+                recompute = np.arange(n)
+                block = points
+            else:
+                block = np.take(points, recompute, axis=0, out=gather[: recompute.size])
+            r_best, r_second, r_sids, r_third, r_assignment = _nearest_three(
+                block, centers, third_limit=_THIRD_DISTANCE_ROW_LIMIT
+            )
+            assignment[recompute] = r_assignment
+            codes[recompute] = r_assignment[:, None] * points.shape[1] + coordinate_offsets
+            second_ids[recompute] = r_sids
+            new_second = np.sqrt(r_second) * (1.0 - _BOUND_SAFETY)
+            base_second[recompute] = new_second
+            eroded[recompute] = new_second
+            base_third[recompute] = np.where(
+                np.isfinite(r_third), np.sqrt(r_third) * (1.0 - _BOUND_SAFETY), new_second
+            )
+            epoch[recompute] = iterations
+            squared[recompute] = _assigned_squared_distances(
+                block, centers, assignment[recompute]
+            )
+            recomputed += recompute.size
+        cost = float(np.dot(weights, squared))
+        if previous_cost < np.inf and previous_cost - cost <= tolerance * max(
+            previous_cost, 1e-12
+        ):
+            converged = True
+            break
+        previous_cost = cost
+    fraction = recomputed / float(n * iterations) if iterations else 0.0
+    return KMeansResult(
+        centers=centers,
+        assignment=assignment,
+        cost=cost,
+        iterations=iterations,
+        converged=converged,
+        recompute_fraction=fraction,
+    )

@@ -79,7 +79,11 @@ def weighted_quantile(
     if not 0.0 <= quantile <= 1.0:
         raise ValueError(f"quantile must lie in [0, 1], got {quantile}")
     weights = check_weights(weights, values.shape[0])
-    order = np.argsort(values)
+    # Stable sort: with duplicated values an unstable introsort can permute
+    # the tied weights, shifting where the cumulative CDF crosses the
+    # threshold *within* the tie and returning a value from the wrong side
+    # of it on exact-threshold hits.
+    order = np.argsort(values, kind="stable")
     sorted_values = values[order]
     cumulative = np.cumsum(weights[order])
     total = cumulative[-1]

@@ -13,7 +13,17 @@ import pytest
 
 from repro.clustering.lloyd import kmeans
 from repro.data.synthetic import gaussian_mixture
+from repro.native import use_native
 from repro.reference.naive_lloyd import naive_kmeans
+
+
+# Run the whole suite twice: once with the compiled kernel tier enabled and
+# once forced to the pure-numpy fallbacks.  The bit-identity contract against
+# the frozen naive reference must hold in both dispatch modes.
+@pytest.fixture(scope="module", params=[True, False], ids=["native", "fallback"], autouse=True)
+def _kernel_tier(request):
+    with use_native(request.param):
+        yield
 
 SHAPES = [(400, 2, 3), (1500, 8, 12), (1000, 3, 25), (600, 16, 7), (800, 5, 40)]
 

@@ -1,0 +1,374 @@
+"""Tests for the compiled kernel tier (:mod:`repro.native`).
+
+Three layers of coverage:
+
+* **Kernel contracts** — every native kernel is compared bit-for-bit against
+  a live numpy oracle (the same expressions the engine's fallback path
+  evaluates), including Hypothesis-generated adversarial inputs for the
+  radix argsort and the CSR grouping kernel.
+* **Tier control** — ``native_status()`` introspection, the ``use_native``
+  override, and the behaviour of :func:`repro.native.get_kernel` in
+  fallback mode.
+* **Cross-mode bit-identity** — full k-means runs and quadtree fits must
+  produce identical observable outputs with the tier enabled and disabled.
+  ``recompute_fraction`` is deliberately *excluded* from the comparison:
+  the native candidate-evaluation kernel may resolve suspects the numpy
+  path recomputes, so the internal work counter is allowed to differ while
+  every observable output stays pinned.
+
+When no provider is available (no numba, no C compiler) the kernel-contract
+tests skip; the tier-control and cross-mode tests still run, because the
+fallback path must behave identically either way.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.clustering.lloyd import kmeans
+from repro.data.synthetic import gaussian_mixture
+from repro.geometry.quadtree import QuadtreeEmbedding
+from repro.native import (
+    get_kernel,
+    kernel_provider,
+    native_status,
+    radix_argsort,
+    reference_candidate_eval,
+    use_native,
+)
+from repro.native.kernels import _reference_csr_group
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+requires_native = pytest.mark.skipif(
+    native_status()["tier"] != "native",
+    reason="no native kernel provider available (numba/cc)",
+)
+
+uint64_keys = arrays(
+    dtype=np.uint64,
+    shape=st.integers(0, 300),
+    elements=st.integers(0, np.iinfo(np.uint64).max),
+)
+int64_keys = arrays(
+    dtype=np.int64,
+    shape=st.integers(0, 300),
+    elements=st.integers(np.iinfo(np.int64).min, np.iinfo(np.int64).max),
+)
+# Small alphabets force long duplicate runs — the hash fast path of the
+# grouping kernel and the trivial-pass skip of the radix sort.
+clustered_keys = arrays(
+    dtype=np.uint64,
+    shape=st.integers(1, 300),
+    elements=st.integers(0, 9),
+)
+
+
+class TestRadixArgsort:
+    """The public argsort must match ``np.argsort(kind='stable')`` exactly
+    (same permutation, not merely a valid sort) in both tier modes."""
+
+    @SETTINGS
+    @given(keys=uint64_keys)
+    def test_matches_stable_argsort_uint64(self, keys):
+        np.testing.assert_array_equal(radix_argsort(keys), np.argsort(keys, kind="stable"))
+
+    @SETTINGS
+    @given(keys=int64_keys)
+    def test_matches_stable_argsort_int64(self, keys):
+        np.testing.assert_array_equal(radix_argsort(keys), np.argsort(keys, kind="stable"))
+
+    @SETTINGS
+    @given(keys=clustered_keys)
+    def test_duplicate_heavy_keys_keep_stability(self, keys):
+        np.testing.assert_array_equal(radix_argsort(keys), np.argsort(keys, kind="stable"))
+
+    @pytest.mark.parametrize(
+        "keys",
+        [
+            np.zeros(129, dtype=np.uint64),
+            np.arange(200, dtype=np.uint64),
+            np.arange(200, dtype=np.uint64)[::-1].copy(),
+            np.array([], dtype=np.uint64),
+            np.array([np.iinfo(np.uint64).max], dtype=np.uint64),
+            np.repeat(np.arange(7, dtype=np.uint64), 31),
+        ],
+        ids=["all-dup", "sorted", "reversed", "empty", "single", "runs"],
+    )
+    def test_edge_cases(self, keys):
+        np.testing.assert_array_equal(radix_argsort(keys), np.argsort(keys, kind="stable"))
+
+    def test_fallback_mode_agrees_with_native(self):
+        keys = np.random.default_rng(0).integers(
+            0, np.iinfo(np.uint64).max, size=500, dtype=np.uint64
+        )
+        native = radix_argsort(keys)
+        with use_native(False):
+            fallback = radix_argsort(keys)
+        np.testing.assert_array_equal(native, fallback)
+
+
+@requires_native
+class TestCsrGroupKernel:
+    """The fused grouping kernel vs the numpy pipeline it replaces."""
+
+    def _check(self, keys):
+        kernel = get_kernel("csr_group")
+        assert kernel is not None
+        produced = kernel(np.ascontiguousarray(keys))
+        expected = _reference_csr_group(keys)
+        for name, have, want in zip(("cell_ids", "order", "offsets"), produced, expected):
+            np.testing.assert_array_equal(have, want, err_msg=name)
+
+    @SETTINGS
+    @given(keys=clustered_keys)
+    def test_duplicate_heavy_hash_path(self, keys):
+        self._check(keys)
+
+    @SETTINGS
+    @given(keys=uint64_keys.filter(lambda a: a.size >= 2))
+    def test_scattered_keys_radix_path(self, keys):
+        self._check(keys)
+
+    def test_distinct_count_around_hash_abort_threshold(self):
+        # The hash path aborts to the radix path once the distinct count
+        # crosses n >> 3; straddle the threshold on both sides.
+        rng = np.random.default_rng(1)
+        for alphabet in (30, 32, 34, 64, 256):
+            self._check(rng.integers(0, alphabet, size=256, dtype=np.uint64))
+
+    def test_grouping_matches_quadtree_usage(self):
+        from repro.geometry.quadtree import _csr_group
+
+        keys = np.random.default_rng(2).integers(0, 40, size=400, dtype=np.uint64)
+        native = _csr_group(keys)
+        with use_native(False):
+            fallback = _csr_group(keys)
+        for have, want in zip(native, fallback):
+            np.testing.assert_array_equal(have, want)
+
+
+@requires_native
+class TestLloydKernels:
+    """The three Lloyd warm-phase kernels vs their live numpy oracles."""
+
+    def _problem(self, seed, n, d, k):
+        rng = np.random.default_rng(seed)
+        points = rng.normal(size=(n, d)) * rng.uniform(0.1, 10.0)
+        centers = rng.normal(size=(k, d)) * rng.uniform(0.1, 10.0)
+        delta = points[:, None, :] - centers[None, :, :]
+        squared = np.einsum("ijk,ijk->ij", delta, delta)
+        assignment = np.argmin(squared, axis=1).astype(np.int64)
+        return points, centers, squared, assignment
+
+    @pytest.mark.parametrize("d", [1, 2, 7, 8, 9, 16, 33])
+    def test_refresh_bounds_matches_einsum_path(self, d):
+        kernel = get_kernel("lloyd_refresh_bounds")
+        assert kernel is not None
+        points, centers, _, assignment = self._problem(d, 128, d, 6)
+        rng = np.random.default_rng(100 + d)
+        eroded = rng.normal(size=128)
+        decrement = float(abs(rng.normal())) * 1e-3
+        scale = 1.0 + 1e-12
+
+        delta = points - centers[assignment]
+        expected_sq = np.einsum("ij,ij->i", delta, delta)
+        expected_upper = np.sqrt(expected_sq) * scale
+        expected_eroded = eroded - decrement
+        expected_maybe = np.flatnonzero(expected_upper >= expected_eroded)
+
+        squared = np.empty(128, dtype=np.float64)
+        mutated = eroded.copy()
+        upper, maybe = kernel(
+            np.ascontiguousarray(points),
+            np.ascontiguousarray(centers),
+            assignment,
+            decrement,
+            scale,
+            squared,
+            mutated,
+        )
+        np.testing.assert_array_equal(squared, expected_sq)
+        np.testing.assert_array_equal(upper, expected_upper)
+        np.testing.assert_array_equal(mutated, expected_eroded)
+        np.testing.assert_array_equal(maybe, expected_maybe)
+
+    @pytest.mark.parametrize("n,d,k", [(1, 1, 1), (64, 4, 9), (400, 12, 25)])
+    def test_update_sums_matches_bincount(self, n, d, k):
+        kernel = get_kernel("lloyd_update_sums")
+        assert kernel is not None
+        rng = np.random.default_rng(n * 31 + d)
+        points = rng.normal(size=(n, d))
+        weights = rng.uniform(0.1, 3.0, size=n)
+        # Leave the top clusters empty: their slots must come back zero.
+        assignment = rng.integers(0, max(1, k - 2), size=n).astype(np.int64)
+        weighted = weights[:, None] * points
+        expected_counts = np.bincount(assignment, weights=weights, minlength=k)
+        codes = assignment[:, None] * d + np.arange(d, dtype=np.int64)
+        expected_sums = np.bincount(
+            codes.ravel(), weights=weighted.ravel(), minlength=k * d
+        ).reshape(k, d)
+        counts, sums = kernel(np.ascontiguousarray(weighted), weights, assignment, k)
+        np.testing.assert_array_equal(counts, expected_counts)
+        np.testing.assert_array_equal(sums, expected_sums)
+
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("d", [1, 3, 10])
+    def test_candidate_eval_matches_oracle(self, seed, d):
+        kernel = get_kernel("lloyd_candidate_eval")
+        assert kernel is not None
+        n, k = 64, 7
+        points, centers, squared, assignment = self._problem(seed * 13 + d, n, d, k)
+        rng = np.random.default_rng(seed * 7 + d)
+        # Stale some assignments so genuine reassignments occur.
+        stale = rng.random(n) < 0.4
+        assignment[stale] = rng.integers(0, k, size=int(stale.sum()))
+        moved = points - centers[assignment]
+        assigned_sq = np.einsum("ij,ij->i", moved, moved)
+        center_norms = np.einsum("ij,ij->i", centers, centers)
+        suspects = np.flatnonzero(rng.random(n) < 0.8).astype(np.int64)
+        s = suspects.size
+        upper = np.sqrt(assigned_sq[suspects]) * rng.uniform(1.0, 1.5, size=s)
+        # Sound lower bounds only (factor <= 1): the engine never produces
+        # over-estimates, and unsound bounds can exclude the true nearest
+        # centre from the candidate set, making any comparison meaningless.
+        bounds = np.sqrt(np.maximum(squared[suspects], 0.0)) * rng.uniform(
+            0.4, 1.0, size=(s, k)
+        )
+        arguments = (
+            np.ascontiguousarray(points),
+            np.ascontiguousarray(centers),
+            np.ascontiguousarray(center_norms),
+            suspects,
+            np.ascontiguousarray(bounds),
+            np.ascontiguousarray(upper),
+            np.ascontiguousarray(assigned_sq),
+            assignment,
+            1e-9,
+        )
+        expected = reference_candidate_eval(*arguments)
+        produced = kernel(*arguments)
+        if expected is None:
+            assert produced is None
+            return
+        assert produced is not None
+        np.testing.assert_array_equal(produced[0], expected[0])
+        np.testing.assert_array_equal(produced[1], expected[1])
+
+    def test_candidate_eval_bails_on_saturated_bounds(self):
+        kernel = get_kernel("lloyd_candidate_eval")
+        assert kernel is not None
+        rng = np.random.default_rng(9)
+        n, d, k = 20, 5, 8
+        points = rng.normal(size=(n, d))
+        centers = rng.normal(size=(k, d))
+        assignment = np.zeros(n, dtype=np.int64)
+        moved = points - centers[assignment]
+        assigned_sq = np.einsum("ij,ij->i", moved, moved)
+        center_norms = np.einsum("ij,ij->i", centers, centers)
+        # Zero bounds with a huge upper: all k-1 candidates survive on every
+        # suspect, blowing the 4*s pair budget — the kernel must hand the
+        # batch back to the blocked numpy path instead of grinding serially.
+        produced = kernel(
+            np.ascontiguousarray(points),
+            np.ascontiguousarray(centers),
+            np.ascontiguousarray(center_norms),
+            np.arange(n, dtype=np.int64),
+            np.zeros((n, k), dtype=np.float64),
+            np.full(n, 1e6, dtype=np.float64),
+            np.ascontiguousarray(assigned_sq),
+            assignment,
+            1e-9,
+        )
+        assert produced is None
+
+
+class TestTierControl:
+    def test_native_status_shape(self):
+        status = native_status()
+        assert status["tier"] in ("native", "fallback")
+        assert set(status["kernels"]) >= {
+            "radix_argsort",
+            "csr_group",
+            "lloyd_refresh_bounds",
+            "lloyd_candidate_eval",
+            "lloyd_update_sums",
+        }
+        assert "providers" in status
+
+    def test_use_native_false_forces_fallback(self):
+        with use_native(False):
+            status = native_status()
+            assert status["tier"] == "fallback"
+            # Kernels without a numpy fallback disappear entirely; the
+            # engine's own numpy path takes over.
+            assert get_kernel("csr_group") is None
+            assert get_kernel("lloyd_candidate_eval") is None
+            assert kernel_provider("radix_argsort") == "fallback"
+
+    def test_use_native_restores_previous_mode(self):
+        before = native_status()["tier"]
+        with use_native(False):
+            assert native_status()["tier"] == "fallback"
+        assert native_status()["tier"] == before
+
+    @requires_native
+    def test_native_mode_routes_all_kernels(self):
+        status = native_status()
+        for name, entry in status["kernels"].items():
+            assert entry["provider"] in ("numba", "cc"), (name, entry)
+
+
+class TestCrossModeBitIdentity:
+    """The observable outputs of the engines must not depend on the tier.
+
+    ``recompute_fraction`` is intentionally not compared: the native
+    candidate kernel resolves some suspects the numpy path recomputes, so
+    the internal work counter legitimately differs between modes.
+    """
+
+    @pytest.mark.parametrize(
+        "n,d,k,seed", [(3000, 7, 15, 0), (1500, 13, 9, 2), (2000, 3, 5, 1)]
+    )
+    def test_kmeans_outputs_identical(self, n, d, k, seed):
+        points = gaussian_mixture(
+            n=n, d=d, n_clusters=max(2, k // 2), gamma=1.0, seed=seed
+        ).points
+        native = kmeans(points, k, seed=seed, max_iterations=40)
+        with use_native(False):
+            fallback = kmeans(points, k, seed=seed, max_iterations=40)
+        np.testing.assert_array_equal(native.assignment, fallback.assignment)
+        np.testing.assert_array_equal(native.centers, fallback.centers)
+        assert native.cost == fallback.cost
+        assert native.iterations == fallback.iterations
+        assert native.converged == fallback.converged
+
+    def test_weighted_kmeans_outputs_identical(self):
+        points = gaussian_mixture(n=1200, d=6, n_clusters=5, gamma=1.0, seed=4).points
+        weights = np.random.default_rng(4).uniform(0.05, 4.0, points.shape[0])
+        native = kmeans(points, 11, weights=weights, seed=4, max_iterations=40)
+        with use_native(False):
+            fallback = kmeans(points, 11, weights=weights, seed=4, max_iterations=40)
+        np.testing.assert_array_equal(native.assignment, fallback.assignment)
+        np.testing.assert_array_equal(native.centers, fallback.centers)
+        assert native.cost == fallback.cost
+        assert native.iterations == fallback.iterations
+
+    @pytest.mark.parametrize("n,d,seed", [(3000, 2, 0), (2000, 16, 1)])
+    def test_quadtree_fit_identical(self, n, d, seed):
+        points = np.random.default_rng(seed).normal(size=(n, d)) * 10.0
+        native = QuadtreeEmbedding(seed=seed).fit(points)
+        with use_native(False):
+            fallback = QuadtreeEmbedding(seed=seed).fit(points)
+        assert native.depth == fallback.depth
+        assert native.delta_ == fallback.delta_
+        for level in range(native.depth):
+            np.testing.assert_array_equal(
+                native.level_cell_ids_[level], fallback.level_cell_ids_[level]
+            )

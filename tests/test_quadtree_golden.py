@@ -12,6 +12,7 @@ import numpy as np
 import pytest
 
 from repro.geometry.quadtree import QuadtreeEmbedding
+from repro.native import use_native
 from repro.reference.seed_hotpath import SeedQuadtreeEmbedding
 
 
@@ -40,8 +41,17 @@ CASES = [
 ]
 
 
+# Run every golden comparison with the compiled kernel tier enabled AND
+# forced to the pure-numpy fallbacks: both dispatch modes of the grouping
+# kernel must stay bit-identical to the frozen seed.
+@pytest.fixture(scope="module", params=[True, False], ids=["native", "fallback"])
+def kernel_tier(request):
+    with use_native(request.param):
+        yield request.param
+
+
 @pytest.fixture(scope="module", params=CASES, ids=[f"{c}-{s}" for c, s in CASES])
-def pair(request):
+def pair(request, kernel_tier):
     case, seed = request.param
     points = _dataset(case, seed)
     optimized = QuadtreeEmbedding(seed=seed).fit(points)

@@ -77,6 +77,24 @@ class TestWeightedQuantile:
         with pytest.raises(ValueError):
             weighted_quantile(np.ones((2, 2)), 0.5)
 
+    def test_duplicate_values_use_stable_order(self):
+        # Regression: with duplicated values the sort must be stable.  An
+        # unstable introsort permutes the tied weights, which changes the
+        # floating-point accumulation order of the cumulative CDF, and on an
+        # exact-threshold hit the crossing lands on the other side of the tie
+        # boundary.  For this input numpy's default argsort answered 1.0
+        # while the stable order pins 2.0.
+        values = np.array([2.0, 1.0, 1.0, 2.0, 1.0, 1.0, 2.0, 2.0])
+        weights = np.array([0.1, 0.7, 0.1, 0.7, 0.1, 0.7, 0.1, 0.7])
+        assert weighted_quantile(values, 0.5, weights) == 2.0
+
+    def test_unit_weights_match_inverted_cdf_on_duplicates(self):
+        values = np.random.default_rng(3).integers(0, 5, size=41).astype(float)
+        for quantile in np.linspace(0.0, 1.0, 21):
+            assert weighted_quantile(values, float(quantile)) == float(
+                np.quantile(values, quantile, method="inverted_cdf")
+            )
+
 
 class TestEffectiveSampleSize:
     def test_uniform_weights_give_n(self):
