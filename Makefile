@@ -12,10 +12,13 @@
 # only the overlapped-reduction streaming rows (advisory for the same
 # reason).
 
+# `make trace-smoke` runs a small `compress --trace` end to end and
+# validates the exported Chrome trace-event JSON (cheap CI blocking step).
+
 PYTHON ?= python
 
 .PHONY: test test-fast test-parallel bench bench-check bench-check-serial \
-	bench-check-overlap
+	bench-check-overlap trace-smoke
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -39,3 +42,6 @@ bench-check-serial:
 bench-check-overlap:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_perf_hotpaths.py --check-only --repeats 1 \
 		--components overlap_reduce
+
+trace-smoke:
+	PYTHONPATH=src $(PYTHON) scripts/trace_smoke.py

@@ -109,6 +109,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import observability
 from repro.clustering.fast_kmeans_pp import fast_kmeans_plus_plus
 from repro.clustering.lloyd import kmeans
 from repro.core.fast_coreset import FastCoreset
@@ -267,11 +268,23 @@ def _kernel_tier_extras(kernel: str) -> dict:
     }
 
 
-def run_workload(name: str, n: int, d: int, k: int, component: str, repeats: int) -> dict:
+def run_workload(
+    name: str, n: int, d: int, k: int, component: str, repeats: int, spans: bool = False
+) -> dict:
     points = _workload_points(n, d)
     extras: dict = {}
+    optimized_fn = None
+
+    def _timed(fn, timed_repeats):
+        # Remember the optimized-side callable so --spans can re-run it once
+        # under tracing AFTER the timed repeats (tracing never pollutes the
+        # recorded seconds).  Every branch times its optimized side first.
+        nonlocal optimized_fn
+        if optimized_fn is None:
+            optimized_fn = fn
+        return _best_of(fn, timed_repeats)
     if component == "fast_kmeans_pp":
-        optimized = _best_of(lambda: fast_kmeans_plus_plus(points, k, seed=0), repeats)
+        optimized = _timed(lambda: fast_kmeans_plus_plus(points, k, seed=0), repeats)
         seed_time = _best_of(
             lambda: seed_fast_kmeans_plus_plus(
                 points, k, seed=0, spread_function=seed_compute_spread
@@ -279,7 +292,7 @@ def run_workload(name: str, n: int, d: int, k: int, component: str, repeats: int
             repeats,
         )
     elif component == "quadtree_fit":
-        optimized = _best_of(lambda: QuadtreeEmbedding(seed=0).fit(points), repeats)
+        optimized = _timed(lambda: QuadtreeEmbedding(seed=0).fit(points), repeats)
         seed_time = _best_of(
             lambda: SeedQuadtreeEmbedding(
                 seed=0, spread_function=seed_compute_spread
@@ -287,7 +300,7 @@ def run_workload(name: str, n: int, d: int, k: int, component: str, repeats: int
             repeats,
         )
     elif component == "quadtree_fit_incr":
-        optimized = _best_of(lambda: QuadtreeEmbedding(seed=0).fit(points), repeats)
+        optimized = _timed(lambda: QuadtreeEmbedding(seed=0).fit(points), repeats)
         # The baseline is the frozen PR-1..4 fit; both sides pay the same
         # (live) spread estimator, so the ratio times the sweep itself.
         seed_time = _best_of(
@@ -295,7 +308,7 @@ def run_workload(name: str, n: int, d: int, k: int, component: str, repeats: int
         )
     elif component == "lloyd_fused":
         initial = points[np.random.default_rng(5).choice(n, size=k, replace=False)]
-        optimized = _best_of(
+        optimized = _timed(
             lambda: kmeans(
                 points,
                 k,
@@ -318,7 +331,7 @@ def run_workload(name: str, n: int, d: int, k: int, component: str, repeats: int
             repeats,
         )
     elif component == "quadtree_fit_native":
-        optimized = _best_of(lambda: QuadtreeEmbedding(seed=0).fit(points), repeats)
+        optimized = _timed(lambda: QuadtreeEmbedding(seed=0).fit(points), repeats)
         # Baseline: the frozen PR-5/6 numpy fit (stable argsort + five-pass
         # CSR pipeline); both sides pay the same live spread estimator.
         seed_time = _best_of(
@@ -327,7 +340,7 @@ def run_workload(name: str, n: int, d: int, k: int, component: str, repeats: int
         extras.update(_kernel_tier_extras("csr_group"))
     elif component == "lloyd_native":
         initial = points[np.random.default_rng(5).choice(n, size=k, replace=False)]
-        optimized = _best_of(
+        optimized = _timed(
             lambda: kmeans(
                 points,
                 k,
@@ -361,13 +374,13 @@ def run_workload(name: str, n: int, d: int, k: int, component: str, repeats: int
                 sampler=sampler, coreset_size=m, seed=1, cache_cost_bound=cache
             ).run(DataStream.with_block_count(points, STREAM_BLOCKS))
 
-        optimized = _best_of(lambda: _run_stream(True), repeats)
+        optimized = _timed(lambda: _run_stream(True), repeats)
         # Baseline: the identical pipeline minus the cost-bound cache (one
         # Algorithm-2 binary search per compression).
         seed_time = _best_of(lambda: _run_stream(False), repeats)
     elif component == "lloyd":
         initial = points[np.random.default_rng(5).choice(n, size=k, replace=False)]
-        optimized = _best_of(
+        optimized = _timed(
             lambda: kmeans(
                 points,
                 k,
@@ -392,7 +405,7 @@ def run_workload(name: str, n: int, d: int, k: int, component: str, repeats: int
     elif component == "merge_reduce":
         m = 40 * k
         sampler = FastCoreset(k=k, seed=0)
-        optimized = _best_of(
+        optimized = _timed(
             lambda: stream_dataset(points, sampler, m, n_blocks=STREAM_BLOCKS, seed=1),
             repeats,
         )
@@ -404,7 +417,7 @@ def run_workload(name: str, n: int, d: int, k: int, component: str, repeats: int
         m = k  # the k column doubles as the representative count
         weights = np.ones(n, dtype=np.float64)
         sampler = StreamKMPlusPlus(coreset_size=m, seed=0)
-        optimized = _best_of(lambda: sampler.sample(points, m, seed=2), repeats)
+        optimized = _timed(lambda: sampler.sample(points, m, seed=2), repeats)
         seed_time = _best_of(lambda: seed_streamkm_reduce(points, weights, m, seed=2), repeats)
     elif component == "async_stream":
         workers = k  # the k column doubles as the async worker count
@@ -446,7 +459,7 @@ def run_workload(name: str, n: int, d: int, k: int, component: str, repeats: int
             pipeline.run(DataStream.with_block_count(points, STREAM_BLOCKS))
             diagnostics["baseline"] = pipeline.last_diagnostics
 
-        optimized = _best_of(_run_async_stream, repeats)
+        optimized = _timed(_run_async_stream, repeats)
         seed_time = _best_of(_run_sync_stream, repeats)
         extras["host_reduce_seconds"] = round(
             diagnostics["optimized"]["host_reduce_seconds"], 6
@@ -479,7 +492,7 @@ def run_workload(name: str, n: int, d: int, k: int, component: str, repeats: int
                 executor.close()
             diagnostics[slot] = pipeline.last_diagnostics
 
-        optimized = _best_of(lambda: _run_overlap_stream(True, "optimized"), repeats)
+        optimized = _timed(lambda: _run_overlap_stream(True, "optimized"), repeats)
         # The "seed" column is the leaf-only-async pipeline (host reduces).
         seed_time = _best_of(lambda: _run_overlap_stream(False, "baseline"), repeats)
         extras["host_reduce_seconds"] = round(
@@ -498,11 +511,22 @@ def run_workload(name: str, n: int, d: int, k: int, component: str, repeats: int
             seed=3,
         )
         process = ProcessExecutor(workers=workers)
-        optimized = _best_of(lambda: builder.build(points, executor=process), repeats)
+        optimized = _timed(lambda: builder.build(points, executor=process), repeats)
         # The "seed" column is the serial baseline of the identical build.
         seed_time = _best_of(lambda: builder.build(points, executor=SerialExecutor()), repeats)
     else:
         raise ValueError(f"unknown component {component!r}")
+    if spans and optimized_fn is not None:
+        with observability.tracing() as recorder:
+            optimized_fn()
+        extras["spans"] = {
+            span_name: {
+                "count": rollup["count"],
+                "wall_seconds": round(rollup["wall_seconds"], 6),
+                "cpu_seconds": round(rollup["cpu_seconds"], 6),
+            }
+            for span_name, rollup in recorder.metrics()["spans"].items()
+        }
     cores = available_cores()
     row = {
         "name": name,
@@ -590,6 +614,13 @@ def main(argv=None) -> int:
         "PARALLEL_COMPONENTS) — the CI's strict gate, kept in one place so "
         "new serial components are covered automatically",
     )
+    parser.add_argument(
+        "--spans",
+        action="store_true",
+        help="after the timed repeats, re-run each workload's optimized side "
+        "once with tracing enabled and attach per-span rollups (count, wall, "
+        "cpu) to the row — a breakdown column, never part of the timing",
+    )
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
     args = parser.parse_args(argv)
 
@@ -622,7 +653,7 @@ def main(argv=None) -> int:
 
     results = []
     for name, n, d, k, component in workloads:
-        result = run_workload(name, n, d, k, component, args.repeats)
+        result = run_workload(name, n, d, k, component, args.repeats, spans=args.spans)
         print(
             f"{name:36s} seed {result['seed_seconds']:8.4f}s   "
             f"optimized {result['optimized_seconds']:8.4f}s   "

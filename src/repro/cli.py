@@ -24,18 +24,29 @@ disk as the pool compresses the current one (result keyed by the seed and
 the block structure).  ``evaluate`` reports the coreset distortion of an
 existing compression against its source dataset; ``recommend`` runs the
 Section 5.5 advisor and prints which sampler is appropriate.
+
+``compress --trace out.json`` records hierarchical spans across the whole
+pipeline — including pool-worker-side shard compressions and offloaded
+reduces, merged onto the host timeline — and writes a Chrome trace-event
+JSON loadable in Perfetto; ``--metrics`` adds the flat counters/gauges
+dict to the summary.  Tracing observes and never perturbs: the coreset
+bytes are identical with and without it.  ``status`` prints the execution
+environment (native kernel tier, pool configuration, tracing state).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import multiprocessing
+import os
 import sys
 import time
 from typing import Callable, Optional, Sequence
 
 import numpy as np
 
+from repro import observability as _obs
 from repro.core import (
     Coreset,
     FastCoreset,
@@ -170,6 +181,29 @@ def _command_compress(arguments: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    tracing = arguments.trace is not None or arguments.metrics
+    if tracing:
+        _obs.start_tracing()
+    try:
+        summary = _run_compress(arguments, sampler, shards)
+    finally:
+        recorder = _obs.stop_tracing() if tracing else None
+    if recorder is not None:
+        if arguments.trace is not None:
+            _obs.write_chrome_trace(
+                arguments.trace,
+                recorder,
+                metadata={"command": "compress", "method": arguments.method},
+            )
+            summary["trace"] = arguments.trace
+        if arguments.metrics:
+            summary["metrics"] = recorder.metrics()
+    print(json.dumps(summary, indent=2))
+    return 0
+
+
+def _run_compress(arguments: argparse.Namespace, sampler, shards: int) -> dict:
+    """Run the compression and return the summary dict (writes the .npz)."""
     backend = arguments.backend
     if backend is None:
         backend = "process" if arguments.workers > 1 else "serial"
@@ -243,8 +277,7 @@ def _command_compress(arguments: argparse.Namespace) -> int:
         **execution,
         **kernel_tier,
     }
-    print(json.dumps(summary, indent=2))
-    return 0
+    return summary
 
 
 def _command_evaluate(arguments: argparse.Namespace) -> int:
@@ -275,6 +308,22 @@ def _command_recommend(arguments: argparse.Namespace) -> int:
             indent=2,
         )
     )
+    return 0
+
+
+def _command_status(arguments: argparse.Namespace) -> int:
+    """Environment snapshot: kernel tier, pool configuration, tracing state."""
+    payload = {
+        "native": native_status(),
+        "pool": {
+            "cpu_count": os.cpu_count(),
+            "backends": list(BACKENDS),
+            "start_methods": multiprocessing.get_all_start_methods(),
+            "default_start_method": multiprocessing.get_start_method(allow_none=True),
+        },
+        "tracing_active": _obs.tracing_active(),
+    }
+    print(json.dumps(payload, indent=2))
     return 0
 
 
@@ -333,6 +382,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards, and the result is keyed by --seed and the block "
         "structure (N changes wall-clock only)",
     )
+    compress.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record spans across the whole compression (host and pool "
+        "workers alike) and write a Chrome trace-event JSON loadable in "
+        "Perfetto / chrome://tracing; tracing never changes the coreset "
+        "bytes, only observes them",
+    )
+    compress.add_argument(
+        "--metrics",
+        action="store_true",
+        help="include the flat metrics dict (counters, gauges, per-span "
+        "rollups) in the JSON summary; enables tracing for the run even "
+        "without --trace",
+    )
     compress.set_defaults(handler=_command_compress)
 
     evaluate = subparsers.add_parser("evaluate", help="measure the distortion of an existing coreset")
@@ -350,6 +415,13 @@ def build_parser() -> argparse.ArgumentParser:
     recommend.add_argument("--m", type=int, default=None)
     recommend.add_argument("--seed", type=int, default=0)
     recommend.set_defaults(handler=_command_recommend)
+
+    status = subparsers.add_parser(
+        "status",
+        help="print the execution environment: native kernel tier, pool "
+        "configuration, tracing state",
+    )
+    status.set_defaults(handler=_command_status)
     return parser
 
 

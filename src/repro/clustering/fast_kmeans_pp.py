@@ -51,6 +51,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro import observability as _obs
 from repro.clustering.cost import ClusteringSolution, cost_to_assigned_centers
 from repro.geometry.quadtree import QuadtreeEmbedding, compute_spread
 from repro.utils.rng import SeedLike, as_generator, weighted_index_draw
@@ -130,10 +131,11 @@ class FastKMeansPlusPlus:
             return ClusteringSolution(centers=centers, assignment=assignment, cost=0.0, z=self.z)
 
         spread = float(self.spread) if self.spread is not None else compute_spread(points, seed=generator)
-        self.trees_ = [
-            QuadtreeEmbedding(max_levels=self.max_levels, seed=generator, spread=spread).fit(points)
-            for _ in range(self.n_trees)
-        ]
+        with _obs.span("fastkpp.tree_fits", trees=self.n_trees, n=n):
+            self.trees_ = [
+                QuadtreeEmbedding(max_levels=self.max_levels, seed=generator, spread=spread).fit(points)
+                for _ in range(self.n_trees)
+            ]
         # Per-tree lookup: tree distance as a function of the deepest shared
         # level (index ``level + 1`` so level -1 maps to slot 0), precomputed
         # by the embedding at fit time.
@@ -186,19 +188,23 @@ class FastKMeansPlusPlus:
                 if mass is not None:
                     mass[unassigned] = weights[unassigned] * best_distance[unassigned] ** z
 
-        first = weighted_index_draw(generator, weights)
-        if first < 0:
-            first = int(generator.integers(0, n))
-        center_indices[0] = first
-        register_center(0, first)
-        mass = weights * best_distance**z
+        with _obs.span("fastkpp.seeding", k=self.k, n=n):
+            first = weighted_index_draw(generator, weights)
+            if first < 0:
+                first = int(generator.integers(0, n))
+            center_indices[0] = first
+            with _obs.span("fastkpp.round", slot=0):
+                register_center(0, first)
+            mass = weights * best_distance**z
 
-        for slot in range(1, self.k):
-            chosen = weighted_index_draw(generator, mass)
-            if chosen < 0:
-                chosen = int(generator.integers(0, n))
-            center_indices[slot] = chosen
-            register_center(slot, chosen)
+            for slot in range(1, self.k):
+                chosen = weighted_index_draw(generator, mass)
+                if chosen < 0:
+                    chosen = int(generator.integers(0, n))
+                center_indices[slot] = chosen
+                with _obs.span("fastkpp.round", slot=slot):
+                    register_center(slot, chosen)
+            _obs.counter_add("fastkpp.rounds", float(self.k))
 
         self.center_indices_ = center_indices
         self.tree_distances_ = best_distance

@@ -72,6 +72,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro import observability as _obs
 from repro.clustering.cost import ClusteringSolution
 from repro.clustering.kmeans_pp import kmeans_plus_plus
 from repro.geometry.distances import (
@@ -365,14 +366,16 @@ def _run_naive(
     converged = False
     iterations = 0
     for iterations in range(1, max_iterations + 1):
-        centers = update_centers(points, weights, assignment, squared, centers, generator)
-        _, assignment = squared_point_to_set_distances(points, centers)
-        squared = assigned_squared_distances(points, centers, assignment)
-        cost = float(np.dot(weights, squared))
-        if _converged(previous_cost, cost, tolerance):
-            converged = True
-            break
-        previous_cost = cost
+        with _obs.span("lloyd.iteration", iteration=iterations):
+            centers = update_centers(points, weights, assignment, squared, centers, generator)
+            _, assignment = squared_point_to_set_distances(points, centers)
+            squared = assigned_squared_distances(points, centers, assignment)
+            cost = float(np.dot(weights, squared))
+            if _converged(previous_cost, cost, tolerance):
+                converged = True
+                break
+            previous_cost = cost
+    _obs.counter_add("lloyd.iterations", float(iterations))
     return KMeansResult(
         centers=centers,
         assignment=assignment,
@@ -458,217 +461,222 @@ def _run_pruned(
     iterations = 0
     recomputed = 0
     for iterations in range(1, max_iterations + 1):
-        new_centers = update_centers(
-            points,
-            weights,
-            assignment,
-            squared,
-            centers,
-            generator,
-            weighted=weighted,
-            codes=codes,
-        )
-        movement = new_centers - centers
-        drift = np.sqrt(np.einsum("ij,ij->i", movement, movement))
-        centers = new_centers
-        cumulative.append(cumulative[-1] + drift)
-        current = cumulative[-1]
+        with _obs.span("lloyd.iteration", iteration=iterations) as iteration_span:
+            new_centers = update_centers(
+                points,
+                weights,
+                assignment,
+                squared,
+                centers,
+                generator,
+                weighted=weighted,
+                codes=codes,
+            )
+            movement = new_centers - centers
+            drift = np.sqrt(np.einsum("ij,ij->i", movement, movement))
+            centers = new_centers
+            cumulative.append(cumulative[-1] + drift)
+            current = cumulative[-1]
 
-        # Phase one: the seed engine's O(n) in-place erosion by the largest
-        # per-iteration drift — a sound relaxation of the epoch bound below
-        # (a sum of per-iteration maxima dominates every center's own
-        # cumulative drift).  Survivors are re-examined against the exact
-        # epoch-anchored bound, which is also written back here, re-arming
-        # the eroded bound so cleared points do not fail phase one forever.
-        decrement = float(drift.max()) * (1.0 + _BOUND_SAFETY) if drift.size else 0.0
-        center_norms = None  # lazily materialised for the candidate kernel
-        if refresh_kernel is not None:
-            # Fused native pass: refresh the assigned distances (einsum
-            # accumulation order and all), rebuild the upper bounds, erode,
-            # and emit the phase-one survivors in one sweep over the points.
-            upper, maybe = refresh_kernel(
-                points, centers, assignment, decrement, 1.0 + _BOUND_SAFETY, squared, eroded
-            )
-        else:
-            squared = _refresh_squared(squared)
-            upper = np.sqrt(squared) * (1.0 + _BOUND_SAFETY)
-            if drift.size:
-                eroded -= decrement
-            maybe = np.flatnonzero(upper >= eroded)
-        suspects = maybe
-        if maybe.size and k >= 2:
-            # Per-epoch drift tables, materialised only for epochs a phase
-            # one survivor still carries (at most one per past iteration).
-            epoch_m = epoch[maybe]
-            epoch_counts = np.bincount(epoch_m, minlength=len(cumulative))
-            present = np.flatnonzero(epoch_counts)
-            deltas = (current[None, :] - np.stack([cumulative[e] for e in present])) * (
-                1.0 + _BOUND_SAFETY
-            )
-            # Column ``k`` holds each epoch's largest drift: the sentinel
-            # runner-up id of mass-recomputed points lands here, charging
-            # their unknown runner-up with the worst case.
-            deltas = np.concatenate([deltas, deltas[:, :k].max(axis=1, keepdims=True)], axis=1)
-            position = np.empty(len(cumulative), dtype=np.int64)
-            position[present] = np.arange(present.size)
-            rows_m = position[epoch_m]
-            lower = base_second[maybe] - deltas[rows_m, second_ids[maybe]]
-            if k >= 3:
-                # Largest cumulative drift outside the assigned/runner-up
-                # pair: take the per-epoch top mover unless it is one of
-                # the excluded centers, falling through to the second and
-                # third movers.
-                real = deltas[:, :k]
-                candidates = np.argpartition(real, k - 3, axis=1)[:, -3:]
-                values = np.take_along_axis(real, candidates, axis=1)
-                rank = np.argsort(values, axis=1)  # ascending within the top 3
-                ordered = np.take_along_axis(candidates, rank, axis=1)
-                sorted_values = np.take_along_axis(values, rank, axis=1)
-                j1, j2 = ordered[:, 2], ordered[:, 1]
-                v1, v2, v3 = sorted_values[:, 2], sorted_values[:, 1], sorted_values[:, 0]
-                m_j1, m_j2 = j1[rows_m], j2[rows_m]
-                m_assignment = assignment[maybe]
-                m_second = second_ids[maybe]
-                excluded1 = (m_j1 == m_assignment) | (m_j1 == m_second)
-                excluded2 = (m_j2 == m_assignment) | (m_j2 == m_second)
-                other_drift = np.where(
-                    excluded1,
-                    np.where(excluded2, v3[rows_m], v2[rows_m]),
-                    v1[rows_m],
+            # Phase one: the seed engine's O(n) in-place erosion by the largest
+            # per-iteration drift — a sound relaxation of the epoch bound below
+            # (a sum of per-iteration maxima dominates every center's own
+            # cumulative drift).  Survivors are re-examined against the exact
+            # epoch-anchored bound, which is also written back here, re-arming
+            # the eroded bound so cleared points do not fail phase one forever.
+            decrement = float(drift.max()) * (1.0 + _BOUND_SAFETY) if drift.size else 0.0
+            center_norms = None  # lazily materialised for the candidate kernel
+            if refresh_kernel is not None:
+                # Fused native pass: refresh the assigned distances (einsum
+                # accumulation order and all), rebuild the upper bounds, erode,
+                # and emit the phase-one survivors in one sweep over the points.
+                upper, maybe = refresh_kernel(
+                    points, centers, assignment, decrement, 1.0 + _BOUND_SAFETY, squared, eroded
                 )
-                np.minimum(lower, base_third[maybe] - other_drift, out=lower)
-            eroded[maybe] = lower
-            suspects = maybe[upper[maybe] >= lower]
-            if 0 < suspects.size <= max(_MIN_RECOMPUTE_ROWS, n // _PROVE_STAY_FRACTION):
-                # Phase three: prove most survivors keep their assignment by
-                # checking the exact distance to their (usually one or two)
-                # candidate centers — the only centers whose per-center
-                # bound dips below the assigned distance.  Points that
-                # might actually change (or sit within the floating-point
-                # margin) still go through the authoritative blocked
-                # kernel, so bit-identity is untouched.
-                rows_s = position[epoch[suspects]]
-                bounds = base_third[suspects][:, None] - deltas[rows_s, :k]
-                s_ids = second_ids[suspects]
-                surv_rows = np.arange(suspects.size)
-                real_s = s_ids < k
-                if np.any(real_s):
-                    tightened = base_second[suspects] - deltas[rows_s, s_ids]
-                    bounds[surv_rows[real_s], s_ids[real_s]] = tightened[real_s]
-                if candidate_kernel is not None:
-                    # Native pass: evaluates every (suspect, candidate)
-                    # pair with the engine's exact einsum accumulation and
-                    # classifies each suspect — cleared (the numpy pass's
-                    # "stays" set, bit for bit), directly reassigned (the
-                    # runner-up gap clears an absolute-scale guard so the
-                    # blocked argmin must agree), or ambiguous.  ``None``
-                    # is the same too-many-pairs bail as below: every
-                    # suspect falls through to the blocked kernel.
-                    if center_norms is None:
-                        center_norms = np.einsum("ij,ij->i", centers, centers)
-                    outcome = candidate_kernel(
-                        points,
-                        centers,
-                        center_norms,
-                        suspects,
-                        np.ascontiguousarray(bounds),
-                        upper[suspects],
-                        squared,
-                        assignment,
-                        _PROVE_STAY_MARGIN,
-                    )
-                    if outcome is not None:
-                        result, runner_sq = outcome
-                        ambiguous = result == -1
-                        moved = result != assignment[suspects]
-                        moved &= ~ambiguous
-                        if np.any(moved):
-                            # Direct reassignment without the blocked
-                            # k-scan.  The evaluated runner-up distance
-                            # lower-bounds every non-assigned center (the
-                            # unevaluated ones sit above ``upper``), so it
-                            # rebuilds a sound — if slightly loose — bound
-                            # state; the sentinel runner-up id charges the
-                            # worst per-epoch drift, exactly like a mass
-                            # recompute.
-                            rows = suspects[moved]
-                            targets = result[moved]
-                            assignment[rows] = targets
-                            codes[rows] = (
-                                targets[:, None] * points.shape[1] + coordinate_offsets
-                            )
-                            second_ids[rows] = k
-                            floor = np.sqrt(runner_sq[moved]) * (1.0 - _BOUND_SAFETY)
-                            base_second[rows] = floor
-                            base_third[rows] = floor
-                            eroded[rows] = floor
-                            epoch[rows] = iterations
-                            squared[rows] = assigned_squared_distances(
-                                points[rows], centers, targets
-                            )
-                            recomputed += rows.size
-                        suspects = suspects[ambiguous]
-                else:
-                    candidate = bounds <= upper[suspects][:, None]
-                    candidate[surv_rows, assignment[suspects]] = False
-                    pair_row, pair_center = np.nonzero(candidate)
-                    if pair_row.size > 4 * suspects.size:
-                        # Bounds too weak to localise the threat (many
-                        # candidate centers per suspect): the blocked kernel
-                        # is cheaper than evaluating every pair.
-                        pass
-                    elif pair_row.size:
-                        pair_points = points[suspects[pair_row]]
-                        pair_delta = pair_points - centers[pair_center]
-                        pair_squared = np.einsum("ij,ij->i", pair_delta, pair_delta)
-                        beaten = pair_squared <= squared[suspects[pair_row]] * (
-                            1.0 + _PROVE_STAY_MARGIN
-                        )
-                        stays = np.ones(suspects.size, dtype=bool)
-                        stays[pair_row[beaten]] = False
-                        suspects = suspects[~stays]
-                    else:
-                        suspects = suspects[:0]
-        if suspects.size:
-            recompute = suspects
-            if recompute.size < min(n, _MIN_RECOMPUTE_ROWS):
-                # Pad tiny suspect sets onto the row-stable GEMM path; the
-                # recomputed argmin is authoritative, so extra rows are safe.
-                recompute = np.unique(
-                    np.concatenate([suspects, np.arange(min(n, _MIN_RECOMPUTE_ROWS))])
-                )
-            if recompute.size > n // 2:
-                # Mass recompute: widening to every point costs less than
-                # gathering most of them (and the extra rows are safe — the
-                # recomputed argmin is authoritative either way).
-                recompute = np.arange(n)
-                block = points
             else:
-                block = np.take(points, recompute, axis=0, out=gather[: recompute.size])
-            r_best, r_second, r_sids, r_third, r_assignment = _nearest_three(
-                block, centers, third_limit=_THIRD_DISTANCE_ROW_LIMIT
-            )
-            assignment[recompute] = r_assignment
-            codes[recompute] = r_assignment[:, None] * points.shape[1] + coordinate_offsets
-            second_ids[recompute] = r_sids
-            new_second = np.sqrt(r_second) * (1.0 - _BOUND_SAFETY)
-            base_second[recompute] = new_second
-            eroded[recompute] = new_second
-            base_third[recompute] = np.where(
-                np.isfinite(r_third), np.sqrt(r_third) * (1.0 - _BOUND_SAFETY), new_second
-            )
-            epoch[recompute] = iterations
-            # Per-point kernel rows are bit-stable under subsetting, so only
-            # the re-assigned rows of the cost basis need refreshing.
-            squared[recompute] = assigned_squared_distances(
-                block, centers, assignment[recompute]
-            )
-            recomputed += recompute.size
-        cost = float(np.dot(weights, squared))
-        if _converged(previous_cost, cost, tolerance):
-            converged = True
-            break
-        previous_cost = cost
+                squared = _refresh_squared(squared)
+                upper = np.sqrt(squared) * (1.0 + _BOUND_SAFETY)
+                if drift.size:
+                    eroded -= decrement
+                maybe = np.flatnonzero(upper >= eroded)
+            suspects = maybe
+            _obs.counter_add("lloyd.phase1_survivors", float(maybe.size))
+            if maybe.size and k >= 2:
+                # Per-epoch drift tables, materialised only for epochs a phase
+                # one survivor still carries (at most one per past iteration).
+                epoch_m = epoch[maybe]
+                epoch_counts = np.bincount(epoch_m, minlength=len(cumulative))
+                present = np.flatnonzero(epoch_counts)
+                deltas = (current[None, :] - np.stack([cumulative[e] for e in present])) * (
+                    1.0 + _BOUND_SAFETY
+                )
+                # Column ``k`` holds each epoch's largest drift: the sentinel
+                # runner-up id of mass-recomputed points lands here, charging
+                # their unknown runner-up with the worst case.
+                deltas = np.concatenate([deltas, deltas[:, :k].max(axis=1, keepdims=True)], axis=1)
+                position = np.empty(len(cumulative), dtype=np.int64)
+                position[present] = np.arange(present.size)
+                rows_m = position[epoch_m]
+                lower = base_second[maybe] - deltas[rows_m, second_ids[maybe]]
+                if k >= 3:
+                    # Largest cumulative drift outside the assigned/runner-up
+                    # pair: take the per-epoch top mover unless it is one of
+                    # the excluded centers, falling through to the second and
+                    # third movers.
+                    real = deltas[:, :k]
+                    candidates = np.argpartition(real, k - 3, axis=1)[:, -3:]
+                    values = np.take_along_axis(real, candidates, axis=1)
+                    rank = np.argsort(values, axis=1)  # ascending within the top 3
+                    ordered = np.take_along_axis(candidates, rank, axis=1)
+                    sorted_values = np.take_along_axis(values, rank, axis=1)
+                    j1, j2 = ordered[:, 2], ordered[:, 1]
+                    v1, v2, v3 = sorted_values[:, 2], sorted_values[:, 1], sorted_values[:, 0]
+                    m_j1, m_j2 = j1[rows_m], j2[rows_m]
+                    m_assignment = assignment[maybe]
+                    m_second = second_ids[maybe]
+                    excluded1 = (m_j1 == m_assignment) | (m_j1 == m_second)
+                    excluded2 = (m_j2 == m_assignment) | (m_j2 == m_second)
+                    other_drift = np.where(
+                        excluded1,
+                        np.where(excluded2, v3[rows_m], v2[rows_m]),
+                        v1[rows_m],
+                    )
+                    np.minimum(lower, base_third[maybe] - other_drift, out=lower)
+                eroded[maybe] = lower
+                suspects = maybe[upper[maybe] >= lower]
+                if 0 < suspects.size <= max(_MIN_RECOMPUTE_ROWS, n // _PROVE_STAY_FRACTION):
+                    # Phase three: prove most survivors keep their assignment by
+                    # checking the exact distance to their (usually one or two)
+                    # candidate centers — the only centers whose per-center
+                    # bound dips below the assigned distance.  Points that
+                    # might actually change (or sit within the floating-point
+                    # margin) still go through the authoritative blocked
+                    # kernel, so bit-identity is untouched.
+                    rows_s = position[epoch[suspects]]
+                    bounds = base_third[suspects][:, None] - deltas[rows_s, :k]
+                    s_ids = second_ids[suspects]
+                    surv_rows = np.arange(suspects.size)
+                    real_s = s_ids < k
+                    if np.any(real_s):
+                        tightened = base_second[suspects] - deltas[rows_s, s_ids]
+                        bounds[surv_rows[real_s], s_ids[real_s]] = tightened[real_s]
+                    if candidate_kernel is not None:
+                        # Native pass: evaluates every (suspect, candidate)
+                        # pair with the engine's exact einsum accumulation and
+                        # classifies each suspect — cleared (the numpy pass's
+                        # "stays" set, bit for bit), directly reassigned (the
+                        # runner-up gap clears an absolute-scale guard so the
+                        # blocked argmin must agree), or ambiguous.  ``None``
+                        # is the same too-many-pairs bail as below: every
+                        # suspect falls through to the blocked kernel.
+                        if center_norms is None:
+                            center_norms = np.einsum("ij,ij->i", centers, centers)
+                        outcome = candidate_kernel(
+                            points,
+                            centers,
+                            center_norms,
+                            suspects,
+                            np.ascontiguousarray(bounds),
+                            upper[suspects],
+                            squared,
+                            assignment,
+                            _PROVE_STAY_MARGIN,
+                        )
+                        if outcome is not None:
+                            result, runner_sq = outcome
+                            ambiguous = result == -1
+                            moved = result != assignment[suspects]
+                            moved &= ~ambiguous
+                            if np.any(moved):
+                                # Direct reassignment without the blocked
+                                # k-scan.  The evaluated runner-up distance
+                                # lower-bounds every non-assigned center (the
+                                # unevaluated ones sit above ``upper``), so it
+                                # rebuilds a sound — if slightly loose — bound
+                                # state; the sentinel runner-up id charges the
+                                # worst per-epoch drift, exactly like a mass
+                                # recompute.
+                                rows = suspects[moved]
+                                targets = result[moved]
+                                assignment[rows] = targets
+                                codes[rows] = (
+                                    targets[:, None] * points.shape[1] + coordinate_offsets
+                                )
+                                second_ids[rows] = k
+                                floor = np.sqrt(runner_sq[moved]) * (1.0 - _BOUND_SAFETY)
+                                base_second[rows] = floor
+                                base_third[rows] = floor
+                                eroded[rows] = floor
+                                epoch[rows] = iterations
+                                squared[rows] = assigned_squared_distances(
+                                    points[rows], centers, targets
+                                )
+                                recomputed += rows.size
+                            suspects = suspects[ambiguous]
+                    else:
+                        candidate = bounds <= upper[suspects][:, None]
+                        candidate[surv_rows, assignment[suspects]] = False
+                        pair_row, pair_center = np.nonzero(candidate)
+                        if pair_row.size > 4 * suspects.size:
+                            # Bounds too weak to localise the threat (many
+                            # candidate centers per suspect): the blocked kernel
+                            # is cheaper than evaluating every pair.
+                            pass
+                        elif pair_row.size:
+                            pair_points = points[suspects[pair_row]]
+                            pair_delta = pair_points - centers[pair_center]
+                            pair_squared = np.einsum("ij,ij->i", pair_delta, pair_delta)
+                            beaten = pair_squared <= squared[suspects[pair_row]] * (
+                                1.0 + _PROVE_STAY_MARGIN
+                            )
+                            stays = np.ones(suspects.size, dtype=bool)
+                            stays[pair_row[beaten]] = False
+                            suspects = suspects[~stays]
+                        else:
+                            suspects = suspects[:0]
+            iteration_span.annotate(suspects=int(suspects.size))
+            if suspects.size:
+                recompute = suspects
+                if recompute.size < min(n, _MIN_RECOMPUTE_ROWS):
+                    # Pad tiny suspect sets onto the row-stable GEMM path; the
+                    # recomputed argmin is authoritative, so extra rows are safe.
+                    recompute = np.unique(
+                        np.concatenate([suspects, np.arange(min(n, _MIN_RECOMPUTE_ROWS))])
+                    )
+                if recompute.size > n // 2:
+                    # Mass recompute: widening to every point costs less than
+                    # gathering most of them (and the extra rows are safe — the
+                    # recomputed argmin is authoritative either way).
+                    recompute = np.arange(n)
+                    block = points
+                else:
+                    block = np.take(points, recompute, axis=0, out=gather[: recompute.size])
+                r_best, r_second, r_sids, r_third, r_assignment = _nearest_three(
+                    block, centers, third_limit=_THIRD_DISTANCE_ROW_LIMIT
+                )
+                assignment[recompute] = r_assignment
+                codes[recompute] = r_assignment[:, None] * points.shape[1] + coordinate_offsets
+                second_ids[recompute] = r_sids
+                new_second = np.sqrt(r_second) * (1.0 - _BOUND_SAFETY)
+                base_second[recompute] = new_second
+                eroded[recompute] = new_second
+                base_third[recompute] = np.where(
+                    np.isfinite(r_third), np.sqrt(r_third) * (1.0 - _BOUND_SAFETY), new_second
+                )
+                epoch[recompute] = iterations
+                # Per-point kernel rows are bit-stable under subsetting, so only
+                # the re-assigned rows of the cost basis need refreshing.
+                squared[recompute] = assigned_squared_distances(
+                    block, centers, assignment[recompute]
+                )
+                recomputed += recompute.size
+            cost = float(np.dot(weights, squared))
+            if _converged(previous_cost, cost, tolerance):
+                converged = True
+                break
+            previous_cost = cost
+    _obs.counter_add("lloyd.iterations", float(iterations))
+    _obs.counter_add("lloyd.recomputed_rows", float(recomputed))
     fraction = recomputed / float(n * iterations) if iterations else 0.0
     return KMeansResult(
         centers=centers,
@@ -739,6 +747,13 @@ def kmeans(
     else:
         centers = kmeans_plus_plus(points, min(k, n), weights=weights, z=2, seed=generator).centers
 
-    return _ENGINES[algorithm](
-        points, weights, centers, max_iterations, tolerance, generator
-    )
+    with _obs.span("lloyd.run", algorithm=algorithm, n=n, k=int(k)) as run_span:
+        result = _ENGINES[algorithm](
+            points, weights, centers, max_iterations, tolerance, generator
+        )
+        run_span.annotate(
+            iterations=result.iterations,
+            converged=bool(result.converged),
+            recompute_fraction=float(result.recompute_fraction),
+        )
+    return result

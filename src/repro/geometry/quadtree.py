@@ -107,10 +107,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, List, Optional
 
 import numpy as np
 
+from repro import observability as _obs
 from repro.geometry.grid import _hash_multipliers, hash_rows
 from repro.native import get_kernel
 from repro.utils.rng import SeedLike, as_generator
@@ -215,6 +216,13 @@ def compute_spread(
     logarithm, making the estimate more than accurate enough.
     """
     points = check_points(points)
+    with _obs.span("quadtree.spread_estimate", n=int(points.shape[0])):
+        return _compute_spread_impl(points, sample_size, block_size, seed)
+
+
+def _compute_spread_impl(
+    points: np.ndarray, sample_size: int, block_size: int, seed: SeedLike
+) -> float:
     n = points.shape[0]
     if n < 2:
         return 1.0
@@ -322,6 +330,11 @@ class QuadtreeEmbedding:
     # ------------------------------------------------------------------ fit
     def fit(self, points: np.ndarray) -> "QuadtreeEmbedding":
         """Build the level-wise CSR cell decomposition for ``points``."""
+        with _obs.span("quadtree.fit") as fit_span:
+            self._fit_levels(points, fit_span)
+        return self
+
+    def _fit_levels(self, points: np.ndarray, fit_span: Any) -> None:
         points = check_points(points)
         self.n_points_, self.dimension_ = points.shape
         self.max_levels = check_integer(self.max_levels, name="max_levels")
@@ -417,7 +430,9 @@ class QuadtreeEmbedding:
                     np.matmul(bits, multipliers, out=increment)
                 np.left_shift(keys, np.uint64(1), out=keys)
                 keys += increment.view(np.uint64)
-            cell_ids, order, offsets = _csr_group(keys, scratch)
+            with _obs.span("quadtree.level", level=level) as level_span:
+                cell_ids, order, offsets = _csr_group(keys, scratch)
+                level_span.annotate(cells=int(offsets.shape[0] - 1))
             self.level_cell_ids_.append(cell_ids)
             self.level_order_.append(order)
             self.level_offsets_.append(offsets)
@@ -428,7 +443,9 @@ class QuadtreeEmbedding:
                 break
 
         self._build_distance_table()
-        return self
+        _obs.counter_add("quadtree.fits", 1.0)
+        _obs.counter_add("quadtree.levels_built", float(len(self.level_cell_ids_)))
+        fit_span.annotate(n=self.n_points_, d=self.dimension_, depth=self.depth)
 
     def _build_distance_table(self) -> None:
         """Precompute ``distance_from_shared_level`` for every level.

@@ -37,6 +37,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from repro import observability as _obs
+
 #: Environment flag controlling the tier (see the module docstring).
 ENV_FLAG = "REPRO_NATIVE"
 
@@ -191,7 +193,9 @@ def get_kernel(name: str) -> Optional[Callable]:
     """
     if name not in _KERNELS:
         raise KeyError(f"unknown kernel {name!r}; registered: {sorted(_KERNELS)}")
-    return _resolve()["kernels"][name][1]
+    provider, implementation = _resolve()["kernels"][name]
+    _obs.counter_add(f"native.dispatch.{provider}", 1.0)
+    return implementation
 
 
 def kernel_provider(name: str) -> str:

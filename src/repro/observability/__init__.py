@@ -1,0 +1,54 @@
+"""Unified tracing & metrics for the coreset pipeline.
+
+See ``README.md`` in this directory for the span/counter API, the
+worker-side aggregation protocol, and the add-an-instrumentation-point
+recipe.  The fast path: ``from repro.observability import span`` and wrap
+a stage in ``with span("layer.stage"):`` — a no-op unless tracing was
+enabled with ``start_tracing()`` / ``tracing()`` / ``compress --trace``.
+"""
+
+from .diagnostics import ExecutionDiagnostics
+from .export import (
+    chrome_trace_events,
+    trace_payload,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from .tracer import (
+    DEFAULT_RING_LIMIT,
+    NullRecorder,
+    SpanRecord,
+    TraceRecorder,
+    absorb_summary,
+    counter_add,
+    gauge_set,
+    get_recorder,
+    span,
+    start_tracing,
+    stop_tracing,
+    tracing,
+    tracing_active,
+    worker_capture,
+)
+
+__all__ = [
+    "ExecutionDiagnostics",
+    "chrome_trace_events",
+    "trace_payload",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "DEFAULT_RING_LIMIT",
+    "NullRecorder",
+    "SpanRecord",
+    "TraceRecorder",
+    "absorb_summary",
+    "counter_add",
+    "gauge_set",
+    "get_recorder",
+    "span",
+    "start_tracing",
+    "stop_tracing",
+    "tracing",
+    "tracing_active",
+    "worker_capture",
+]

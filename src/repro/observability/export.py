@@ -1,0 +1,183 @@
+"""Exporters for recorded traces.
+
+``chrome_trace_events`` turns the flat :class:`SpanRecord` rows into Chrome
+trace-event JSON (the ``{"traceEvents": [...]}`` container format), which
+loads directly in Perfetto (https://ui.perfetto.dev) and chrome://tracing.
+Every span becomes a matched B/E duration-event pair on its ``(pid, tid)``
+track; worker-process spans absorbed via the piggyback protocol land on
+their own pid track, so the merged timeline shows host and worker work
+side by side.
+
+``validate_chrome_trace`` is the schema check used by the test suite and
+``make trace-smoke``: required keys on every event, globally monotone
+``ts``, and properly matched/nested B/E pairs per track.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from .tracer import SpanRecord, TraceRecorder
+
+__all__ = [
+    "chrome_trace_events",
+    "trace_payload",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+]
+
+_REQUIRED_EVENT_KEYS = ("name", "cat", "ph", "ts", "pid", "tid")
+
+
+def _track_walk(
+    records: List[SpanRecord], time_origin: float
+) -> List[Tuple[float, Dict[str, Any]]]:
+    """Rebuild one track's properly nested B/E event sequence.
+
+    Records arrive in close order (post-order per thread: children close
+    before their parent), so a depth-guided stack sweep recovers the span
+    tree and emits the pre/post boundary walk — matched B/E pairs nested
+    exactly as the spans were on the live stack, immune to timestamp ties
+    between siblings and zero-duration spans.  Ring-buffer drops only
+    remove subtree prefixes, which the relative-depth pops tolerate.
+    """
+
+    stack: List[Tuple[int, List[Tuple[float, Dict[str, Any]]]]] = []
+    for r in records:
+        children: List[List[Tuple[float, Dict[str, Any]]]] = []
+        while stack and stack[-1][0] > r.depth:
+            children.insert(0, stack.pop()[1])
+        begin: Dict[str, Any] = {
+            "name": r.name,
+            "cat": r.category,
+            "ph": "B",
+            "ts": (r.start - time_origin) * 1e6,
+            "pid": r.pid,
+            "tid": r.tid,
+        }
+        if r.args:
+            begin["args"] = dict(r.args)
+        end: Dict[str, Any] = {
+            "name": r.name,
+            "cat": r.category,
+            "ph": "E",
+            "ts": (r.start + r.duration - time_origin) * 1e6,
+            "pid": r.pid,
+            "tid": r.tid,
+        }
+        subtree = [(begin["ts"], begin)]
+        for child in children:
+            subtree.extend(child)
+        subtree.append((end["ts"], end))
+        stack.append((r.depth, subtree))
+    walk: List[Tuple[float, Dict[str, Any]]] = []
+    for _, subtree in stack:
+        walk.extend(subtree)
+    return walk
+
+
+def chrome_trace_events(
+    records: Iterable[SpanRecord], *, time_origin: Optional[float] = None
+) -> List[Dict[str, Any]]:
+    """Convert span records to a globally ts-sorted list of B/E events.
+
+    ``ts`` is microseconds relative to ``time_origin`` (default: the
+    earliest span start), so traces open at t=0 instead of hours into the
+    machine's monotonic clock.  Per-track event order is reconstructed
+    from record order (never re-sorted), so B/E pairs stay matched even
+    under timestamp ties; tracks are then merged by timestamp, which
+    keeps ``ts`` globally non-decreasing.
+    """
+
+    records = list(records)
+    if not records:
+        return []
+    if time_origin is None:
+        time_origin = min(r.start for r in records)
+
+    tracks: Dict[Tuple[int, int], List[SpanRecord]] = {}
+    for r in records:
+        tracks.setdefault((r.pid, r.tid), []).append(r)
+
+    walks = [_track_walk(track_records, time_origin) for track_records in tracks.values()]
+    merged = heapq.merge(*walks, key=lambda item: item[0])
+    return [event for _, event in merged]
+
+
+def trace_payload(recorder: TraceRecorder, *, metadata: Optional[dict] = None) -> Dict[str, Any]:
+    """Full Chrome-trace JSON payload: events plus a metrics sidecar."""
+
+    payload: Dict[str, Any] = {
+        "traceEvents": chrome_trace_events(list(recorder.spans)),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "metrics": recorder.metrics(),
+        },
+    }
+    if metadata:
+        payload["otherData"].update(metadata)
+    return payload
+
+
+def write_chrome_trace(
+    path: str, recorder: TraceRecorder, *, metadata: Optional[dict] = None
+) -> Dict[str, Any]:
+    """Serialize the recorder to ``path`` and return the payload."""
+
+    payload = trace_payload(recorder, metadata=metadata)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=None, separators=(",", ":"))
+    return payload
+
+
+def validate_chrome_trace(payload: Any) -> int:
+    """Validate a Chrome-trace payload; returns the number of events.
+
+    Raises ``ValueError`` on the first violation: missing container or
+    required event keys, non-monotone ``ts``, or unmatched / misnested
+    B/E pairs on any ``(pid, tid)`` track.
+    """
+
+    if not isinstance(payload, dict) or "traceEvents" not in payload:
+        raise ValueError("trace payload must be a dict with a 'traceEvents' list")
+    events = payload["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("'traceEvents' must be a list")
+
+    last_ts = float("-inf")
+    stacks: Dict[Any, List[str]] = {}
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"event #{index} is not an object")
+        ph = event.get("ph")
+        if ph == "M":  # metadata events carry no timeline semantics
+            continue
+        for key in _REQUIRED_EVENT_KEYS:
+            if key not in event:
+                raise ValueError(f"event #{index} missing required key {key!r}")
+        ts = event["ts"]
+        if not isinstance(ts, (int, float)):
+            raise ValueError(f"event #{index} has non-numeric ts")
+        if ts < last_ts:
+            raise ValueError(f"event #{index} breaks ts monotonicity ({ts} < {last_ts})")
+        last_ts = ts
+        track = (event["pid"], event["tid"])
+        stack = stacks.setdefault(track, [])
+        if ph == "B":
+            stack.append(event["name"])
+        elif ph == "E":
+            if not stack:
+                raise ValueError(f"event #{index}: E without matching B on track {track}")
+            opened = stack.pop()
+            if opened != event["name"]:
+                raise ValueError(
+                    f"event #{index}: E for {event['name']!r} closes span {opened!r}"
+                )
+        else:
+            raise ValueError(f"event #{index} has unsupported phase {ph!r}")
+    for track, stack in stacks.items():
+        if stack:
+            raise ValueError(f"track {track} left unclosed spans: {stack}")
+    return len(events)

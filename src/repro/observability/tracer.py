@@ -1,0 +1,399 @@
+"""Low-overhead hierarchical span recorder and counters/gauges registry.
+
+The module keeps exactly one *active* recorder per process.  By default it
+is a shared no-op singleton, so every instrumentation point in the hot
+paths costs one global lookup plus one no-op method call — well inside
+measurement noise for the tracked bench workloads.  ``start_tracing()``
+swaps in a real :class:`TraceRecorder`; ``stop_tracing()`` swaps the no-op
+back.
+
+Design points:
+
+* **Spans** are recorded on close as flat :class:`SpanRecord` rows in a
+  ring buffer (``collections.deque(maxlen=...)``), so a runaway trace can
+  never exhaust memory — the oldest spans fall off and ``dropped_spans``
+  counts them.  Nesting depth and parent names come from a per-thread
+  stack, so thread-pool workers interleave without locking.
+* **Clocks**: monotonic wall time via ``time.perf_counter()`` (on Linux a
+  system-wide monotonic clock, so worker-process timestamps merge onto the
+  host timeline directly) and process CPU time via ``time.process_time()``.
+* **Counters** accumulate (``counter_add``), **gauges** record the latest
+  value plus a high-water mark (``gauge_set``).  Both live behind one lock;
+  they are touched at stage granularity, never per point.
+* **Cross-process aggregation**: a pool task runs under
+  ``worker_capture()``, which installs a private recorder for the duration
+  of the task and yields a compact picklable summary.  The host absorbs the
+  summary with :meth:`TraceRecorder.absorb`, tagging every span with the
+  worker's pid so the merged timeline keeps worker identity.  The executor
+  seam (see ``repro/parallel/executor.py``) piggybacks the summary on the
+  task result and strips it before any consumer sees the value, which is
+  how mode-compared statistics stay byte-exact.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "SpanRecord",
+    "TraceRecorder",
+    "NullRecorder",
+    "get_recorder",
+    "tracing_active",
+    "span",
+    "counter_add",
+    "gauge_set",
+    "start_tracing",
+    "stop_tracing",
+    "tracing",
+    "worker_capture",
+    "absorb_summary",
+]
+
+DEFAULT_RING_LIMIT = 200_000
+
+# Compact wire format for one span inside a worker summary (a plain tuple
+# keeps the pickled payload small): (name, category, start, duration,
+# cpu_duration, tid, depth, args-or-None).
+_SpanTuple = Tuple[str, str, float, float, float, int, int, Optional[dict]]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One closed span.  ``start`` is ``time.perf_counter()`` seconds."""
+
+    name: str
+    category: str
+    start: float
+    duration: float
+    cpu_duration: float
+    pid: int
+    tid: int
+    depth: int
+    args: Optional[dict] = None
+
+
+class _SpanContext:
+    """Context manager for one live span on the enabled recorder."""
+
+    __slots__ = ("_recorder", "_name", "_category", "_args", "_start", "_cpu", "_depth")
+
+    def __init__(self, recorder: "TraceRecorder", name: str, category: str, args: Optional[dict]):
+        self._recorder = recorder
+        self._name = name
+        self._category = category
+        self._args = args
+
+    def annotate(self, **kwargs: Any) -> None:
+        """Attach arguments discovered mid-span (e.g. loop totals)."""
+
+        if self._args is None:
+            self._args = {}
+        self._args.update(kwargs)
+
+    def __enter__(self) -> "_SpanContext":
+        stack = self._recorder._stack()
+        self._depth = len(stack)
+        stack.append(self._name)
+        self._cpu = time.process_time()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        end = time.perf_counter()
+        cpu_end = time.process_time()
+        recorder = self._recorder
+        recorder._stack().pop()
+        recorder._append(
+            SpanRecord(
+                name=self._name,
+                category=self._category,
+                start=self._start,
+                duration=end - self._start,
+                cpu_duration=cpu_end - self._cpu,
+                pid=recorder.pid,
+                tid=threading.get_ident(),
+                depth=self._depth,
+                args=self._args,
+            )
+        )
+
+
+class _NullSpan:
+    """Shared, reusable no-op span: the entire disabled-mode cost."""
+
+    __slots__ = ()
+
+    def annotate(self, **kwargs: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullRecorder:
+    """Recorder installed by default: every operation is a no-op."""
+
+    __slots__ = ()
+
+    active = False
+
+    def span(self, name: str, category: str = "repro", **args: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def counter_add(self, name: str, value: float = 1.0) -> None:
+        pass
+
+    def gauge_set(self, name: str, value: float) -> None:
+        pass
+
+    def absorb(self, summary: Optional[dict]) -> None:
+        pass
+
+
+class TraceRecorder:
+    """Ring-buffer-bounded span recorder plus counters/gauges registry."""
+
+    active = True
+
+    def __init__(self, ring_limit: int = DEFAULT_RING_LIMIT):
+        self.ring_limit = int(ring_limit)
+        self.pid = os.getpid()
+        self.spans: "deque[SpanRecord]" = deque(maxlen=self.ring_limit)
+        self.dropped_spans = 0
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._gauge_high: Dict[str, float] = {}
+
+    # -- span API ---------------------------------------------------------
+
+    def span(self, name: str, category: str = "repro", **args: Any) -> _SpanContext:
+        return _SpanContext(self, name, category, args if args else None)
+
+    def _stack(self) -> List[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _append(self, record: SpanRecord) -> None:
+        if len(self.spans) == self.ring_limit:
+            self.dropped_spans += 1
+        self.spans.append(record)
+
+    # -- counters / gauges ------------------------------------------------
+
+    def counter_add(self, name: str, value: float = 1.0) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0.0) + value
+
+    def gauge_set(self, name: str, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._gauges[name] = value
+            if value > self._gauge_high.get(name, float("-inf")):
+                self._gauge_high[name] = value
+
+    def counters(self) -> Dict[str, float]:
+        with self._lock:
+            return dict(self._counters)
+
+    def gauges(self) -> Dict[str, float]:
+        with self._lock:
+            return dict(self._gauges)
+
+    def gauge_high_water(self) -> Dict[str, float]:
+        with self._lock:
+            return dict(self._gauge_high)
+
+    # -- cross-process aggregation ---------------------------------------
+
+    def summary(self) -> Optional[dict]:
+        """Compact picklable summary for piggybacking on a task result."""
+
+        spans: List[_SpanTuple] = [
+            (r.name, r.category, r.start, r.duration, r.cpu_duration, r.tid, r.depth, r.args)
+            for r in self.spans
+        ]
+        counters = self.counters()
+        gauges = self.gauges()
+        if not spans and not counters and not gauges:
+            return None
+        return {
+            "pid": self.pid,
+            "spans": spans,
+            "counters": counters,
+            "gauges": gauges,
+            "dropped": self.dropped_spans,
+        }
+
+    def absorb(self, summary: Optional[dict]) -> None:
+        """Merge a worker summary produced by :meth:`summary`.
+
+        Spans keep the worker's pid/tid; counters sum; gauges keep the
+        maximum observed value (they are high-water style by the time they
+        cross the process boundary).
+        """
+
+        if not summary:
+            return
+        pid = int(summary.get("pid", 0))
+        for name, category, start, duration, cpu, tid, depth, args in summary.get("spans", ()):
+            self._append(
+                SpanRecord(
+                    name=name,
+                    category=category,
+                    start=start,
+                    duration=duration,
+                    cpu_duration=cpu,
+                    pid=pid,
+                    tid=tid,
+                    depth=depth,
+                    args=args,
+                )
+            )
+        with self._lock:
+            for name, value in summary.get("counters", {}).items():
+                self._counters[name] = self._counters.get(name, 0.0) + value
+            for name, value in summary.get("gauges", {}).items():
+                if value > self._gauges.get(name, float("-inf")):
+                    self._gauges[name] = value
+                if value > self._gauge_high.get(name, float("-inf")):
+                    self._gauge_high[name] = value
+            self.dropped_spans += int(summary.get("dropped", 0))
+
+    # -- snapshots --------------------------------------------------------
+
+    def metrics(self) -> Dict[str, Any]:
+        """Flat metrics dict: counters, gauges, and per-name span rollups."""
+
+        rollup: Dict[str, Dict[str, float]] = {}
+        for record in list(self.spans):
+            agg = rollup.setdefault(
+                record.name, {"count": 0.0, "wall_seconds": 0.0, "cpu_seconds": 0.0}
+            )
+            agg["count"] += 1.0
+            agg["wall_seconds"] += record.duration
+            agg["cpu_seconds"] += record.cpu_duration
+        return {
+            "counters": self.counters(),
+            "gauges": self.gauges(),
+            "gauge_high_water": self.gauge_high_water(),
+            "spans": rollup,
+            "dropped_spans": self.dropped_spans,
+        }
+
+
+# -- module-level active recorder ----------------------------------------
+
+_NULL = NullRecorder()
+_ACTIVE: Any = _NULL
+_SWAP_LOCK = threading.Lock()
+
+
+def get_recorder() -> Any:
+    """The active recorder: a ``TraceRecorder`` or the no-op singleton."""
+
+    return _ACTIVE
+
+
+def tracing_active() -> bool:
+    return _ACTIVE is not _NULL
+
+
+def span(name: str, category: str = "repro", **args: Any) -> Any:
+    """Open a span on the active recorder (no-op context when disabled)."""
+
+    return _ACTIVE.span(name, category, **args)
+
+
+def counter_add(name: str, value: float = 1.0) -> None:
+    _ACTIVE.counter_add(name, value)
+
+
+def gauge_set(name: str, value: float) -> None:
+    _ACTIVE.gauge_set(name, value)
+
+
+def absorb_summary(summary: Optional[dict]) -> None:
+    _ACTIVE.absorb(summary)
+
+
+def start_tracing(ring_limit: int = DEFAULT_RING_LIMIT) -> TraceRecorder:
+    """Install and return a fresh recorder (replacing any active one)."""
+
+    global _ACTIVE
+    recorder = TraceRecorder(ring_limit=ring_limit)
+    with _SWAP_LOCK:
+        _ACTIVE = recorder
+    return recorder
+
+
+def stop_tracing() -> Optional[TraceRecorder]:
+    """Restore the no-op recorder; returns the recorder that was active."""
+
+    global _ACTIVE
+    with _SWAP_LOCK:
+        previous = _ACTIVE
+        _ACTIVE = _NULL
+    return previous if isinstance(previous, TraceRecorder) else None
+
+
+@contextmanager
+def tracing(ring_limit: int = DEFAULT_RING_LIMIT) -> Iterator[TraceRecorder]:
+    """``with tracing() as rec:`` — enable for a block, restore on exit."""
+
+    recorder = start_tracing(ring_limit=ring_limit)
+    try:
+        yield recorder
+    finally:
+        global _ACTIVE
+        with _SWAP_LOCK:
+            if _ACTIVE is recorder:
+                _ACTIVE = _NULL
+
+
+class _WorkerCapture:
+    def __init__(self, recorder: TraceRecorder):
+        self._recorder = recorder
+        self.summary: Optional[dict] = None
+
+
+@contextmanager
+def worker_capture(ring_limit: int = DEFAULT_RING_LIMIT) -> Iterator[_WorkerCapture]:
+    """Capture spans/counters recorded while a pool task runs.
+
+    Installs a private recorder for the duration of the block and exposes
+    the compact summary on exit.  Pool workers execute one task at a time,
+    so the global swap is safe there; the previous recorder (normally the
+    worker's no-op) is restored afterwards.
+    """
+
+    global _ACTIVE
+    recorder = TraceRecorder(ring_limit=ring_limit)
+    with _SWAP_LOCK:
+        previous = _ACTIVE
+        _ACTIVE = recorder
+    capture = _WorkerCapture(recorder)
+    try:
+        yield capture
+    finally:
+        with _SWAP_LOCK:
+            if _ACTIVE is recorder:
+                _ACTIVE = previous
+        capture.summary = recorder.summary()

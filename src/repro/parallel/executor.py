@@ -64,6 +64,7 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tupl
 
 import numpy as np
 
+from repro import observability as _obs
 from repro.utils.validation import check_integer
 
 #: Backend names accepted by :func:`resolve_executor`,
@@ -216,6 +217,48 @@ def _call_task(item: Tuple[TaskFunction, Any]) -> Any:
     return fn(_WORKER_PAYLOAD, task)
 
 
+@dataclass
+class _TracedResult:
+    """A task result with a piggybacked worker-side trace summary.
+
+    The wrapper exists only between the worker trampoline and the host-side
+    unwrap (``_unwrap_traced`` / the fresh-pool absorb loop); consumers of
+    the executor API never see it, so the values they fold are byte-exact
+    with an untraced run.
+    """
+
+    result: Any
+    summary: Optional[dict]
+
+
+def _call_traced_task(item: Tuple[TaskFunction, Any]) -> _TracedResult:
+    """Fresh-pool trampoline that captures worker-side spans/counters."""
+    fn, task = item
+    with _obs.worker_capture() as capture:
+        result = fn(_WORKER_PAYLOAD, task)
+    return _TracedResult(result, capture.summary)
+
+
+def _unwrap_traced(inner: Future) -> Future:
+    """Future adapter: absorb the piggybacked summary, expose the bare result."""
+    outer: Future = Future()
+
+    def _copy(done: Future) -> None:
+        error = done.exception()
+        if error is not None:
+            outer.set_exception(error)
+            return
+        value = done.result()
+        if isinstance(value, _TracedResult):
+            _obs.absorb_summary(value.summary)
+            outer.set_result(value.result)
+        else:
+            outer.set_result(value)
+
+    inner.add_done_callback(_copy)
+    return outer
+
+
 def _publish_array(array: np.ndarray) -> Tuple[shared_memory.SharedMemory, _ArrayDescriptor]:
     """Copy ``array`` into a fresh shared-memory segment (once per map)."""
     array = np.ascontiguousarray(array)
@@ -277,6 +320,23 @@ def _run_persistent_task(
             _WORKER_SEGMENT_CACHE[name] = segment
         views.append(np.ndarray(shape, dtype=np.dtype(dtype), buffer=segment.buf))
     return fn(ArrayPayload(points=views[0], weights=views[1]), task)
+
+
+def _run_traced_persistent_task(
+    fn: TaskFunction,
+    task: Any,
+    descriptors: Optional[Tuple[_ArrayDescriptor, _ArrayDescriptor]],
+) -> _TracedResult:
+    """Persistent-pool trampoline that captures worker-side spans/counters.
+
+    Selected host-side at submission time (only while tracing is active),
+    so workers need no tracing state of their own: the capture installs a
+    private recorder for the duration of the task and the summary rides
+    back on the result.
+    """
+    with _obs.worker_capture() as capture:
+        result = _run_persistent_task(fn, task, descriptors)
+    return _TracedResult(result, capture.summary)
 
 
 class _Publication:
@@ -418,13 +478,24 @@ class ProcessExecutor(Executor):
             published = [_publish_array(payload.points), _publish_array(payload.weights)]
             segments = [segment for segment, _ in published]
             descriptors = tuple(descriptor for _, descriptor in published)
+        traced = _obs.tracing_active()
         try:
             with ctx.Pool(
                 processes=min(self.workers, len(tasks)),
                 initializer=_attach_payload,
                 initargs=(descriptors,),
             ) as pool:
-                return pool.map(_call_task, [(fn, task) for task in tasks], chunksize=1)
+                call = _call_traced_task if traced else _call_task
+                results = pool.map(call, [(fn, task) for task in tasks], chunksize=1)
+            if traced:
+                for value in results:
+                    if isinstance(value, _TracedResult):
+                        _obs.absorb_summary(value.summary)
+                results = [
+                    value.result if isinstance(value, _TracedResult) else value
+                    for value in results
+                ]
+            return results
         finally:
             for segment in segments:
                 segment.close()
@@ -538,6 +609,7 @@ class AsyncExecutor(abc.ABC):
     ) -> Tuple[Any, List[Future]]:
         """One publication, one future per task — the shared submission path."""
         handle = self._publish(payload, len(tasks))
+        _obs.counter_add("executor.tasks_submitted", float(len(tasks)))
         return handle, [self._submit_task(fn, task, handle) for task in tasks]
 
     def submit_many(
@@ -606,6 +678,8 @@ class AsyncExecutor(abc.ABC):
             for index, task in itertools.islice(backlog, limit):
                 pending[self._submit_task(fn, task, handle)] = index
                 submitted += 1
+            _obs.counter_add("executor.tasks_submitted", float(submitted))
+            _obs.gauge_set("executor.queue_depth", float(len(pending)))
             while pending:
                 done, _ = _wait_futures(set(pending), return_when=FIRST_COMPLETED)
                 for future in done:
@@ -613,6 +687,8 @@ class AsyncExecutor(abc.ABC):
                     for next_index, next_task in itertools.islice(backlog, 1):
                         pending[self._submit_task(fn, next_task, handle)] = next_index
                         submitted += 1
+                        _obs.counter_add("executor.tasks_submitted", 1.0)
+                    _obs.gauge_set("executor.queue_depth", float(len(pending)))
                     yield index, future.result()
         finally:
             # On early exit (consumer break, task exception) the unsubmitted
@@ -895,7 +971,16 @@ class ProcessAsyncExecutor(AsyncExecutor):
     def _publish(self, payload: Optional[ArrayPayload], references: int) -> Optional[_Publication]:
         if payload is None:
             return None
-        published = [self._write_array(payload.points), self._write_array(payload.weights)]
+        with _obs.span("executor.publish", backend=self.name) as publish_span:
+            published = [self._write_array(payload.points), self._write_array(payload.weights)]
+            publish_span.annotate(
+                nbytes=int(payload.points.nbytes) + int(payload.weights.nbytes),
+                references=references,
+            )
+        if _obs.tracing_active():
+            with self._lock:
+                _obs.gauge_set("executor.segments_live", float(len(self._segments)))
+                _obs.gauge_set("executor.segments_free", float(len(self._free)))
         return _Publication(
             self,
             [segment for segment, _ in published],
@@ -906,9 +991,17 @@ class ProcessAsyncExecutor(AsyncExecutor):
     def _submit_task(self, fn: TaskFunction, task: Any, handle: Optional[_Publication]) -> Future:
         pool = self._ensure_pool()
         descriptors = None if handle is None else handle.descriptors
-        future = pool.submit(_run_persistent_task, fn, task, descriptors)
+        # Tracing is decided host-side at submission time: workers carry no
+        # tracing state, so an untraced run ships the plain trampoline and
+        # pays nothing.
+        if _obs.tracing_active():
+            inner = pool.submit(_run_traced_persistent_task, fn, task, descriptors)
+            future = _unwrap_traced(inner)
+        else:
+            inner = pool.submit(_run_persistent_task, fn, task, descriptors)
+            future = inner
         if handle is not None:
-            future.add_done_callback(handle.release_one)
+            inner.add_done_callback(handle.release_one)
         return future
 
     def _finalize_publication(self, handle: Optional[_Publication]) -> None:

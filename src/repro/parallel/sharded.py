@@ -18,8 +18,10 @@ from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro import observability as _obs
 from repro.core.base import CoresetConstruction
 from repro.core.coreset import Coreset, merge_coresets
+from repro.observability import ExecutionDiagnostics
 from repro.parallel.executor import (
     ArrayPayload,
     AsyncExecutor,
@@ -62,12 +64,14 @@ class ShardedBuildResult:
         functions of the build configuration — the equivalence suite
         compares them across backends.
     diagnostics:
-        Mode-*dependent* execution diagnostics: whether the final
-        re-compression was offloaded to the pool or ran on the host
-        (``reduces_offloaded`` / ``host_reduces``), the host-thread seconds
-        it cost, and the high-water mark of landed-but-unassembled shard
-        messages on the async path.  Deliberately separate from
-        ``metadata`` so backend equivalence stays byte-exact.
+        Mode-*dependent* execution diagnostics
+        (:class:`~repro.observability.ExecutionDiagnostics`, dict-style
+        access preserved): whether the final re-compression was offloaded
+        to the pool or ran on the host (``reduces_offloaded`` /
+        ``host_reduces``), the host-thread seconds it cost, and the
+        high-water mark of landed-but-unassembled shard messages on the
+        async path.  Deliberately separate from ``metadata`` so backend
+        equivalence stays byte-exact.
     """
 
     coreset: Coreset
@@ -78,7 +82,7 @@ class ShardedBuildResult:
     backend: str
     workers: int
     metadata: Dict[str, Union[float, str]] = field(default_factory=dict)
-    diagnostics: Dict[str, float] = field(default_factory=dict)
+    diagnostics: ExecutionDiagnostics = field(default_factory=ExecutionDiagnostics)
 
 
 class ShardedCoresetBuilder:
@@ -206,57 +210,61 @@ class ShardedCoresetBuilder:
         ]
         payload = ArrayPayload(points=shard_points, weights=shard_weights)
         method = f"sharded[{self.sampler.name}]"
-        diagnostics: Dict[str, float] = {
-            "reduces_offloaded": 0.0,
-            "host_reduces": 0.0,
-            "host_reduce_seconds": 0.0,
-            "pending_high_water": 0.0,
-        }
+        diagnostics = ExecutionDiagnostics()
         try:
-            if isinstance(executor, AsyncExecutor):
-                shard_coresets, union, high_water = self._collect_async(
-                    executor, tasks, payload
-                )
-                union.method = method
-                diagnostics["pending_high_water"] = float(high_water)
-            else:
-                shard_coresets = executor.map(compress_shard, tasks, payload=payload)
-                union = merge_coresets(shard_coresets, method=method)
-
-            if self.final_coreset_size is not None and union.size > self.final_coreset_size:
-                final_seed = keyed_seed_sequence(root, KEY_FINAL)
+            with _obs.span("sharded.build", n=n, shards=len(bounds)):
                 if isinstance(executor, AsyncExecutor):
-                    # Ship the (small) union as a reduce task instead of
-                    # blocking the host thread — same sampler, seed, and
-                    # hints, so the bytes cannot differ.
-                    final_task = ShardTask(
-                        index=len(tasks),
-                        start=0,
-                        stop=union.size,
-                        m=self.final_coreset_size,
-                        sampler=self.sampler,
-                        seed=final_seed,
-                        spread=spread,
-                    )
-                    final_payload = ArrayPayload(points=union.points, weights=union.weights)
-                    coreset = executor.submit(
-                        compress_shard, final_task, payload=final_payload
-                    ).result()
-                    diagnostics["reduces_offloaded"] = 1.0
+                    with _obs.span("sharded.collect", shards=len(tasks)):
+                        shard_coresets, union, high_water = self._collect_async(
+                            executor, tasks, payload
+                        )
+                    union.method = method
+                    diagnostics.pending_high_water = float(high_water)
+                    _obs.gauge_set("sharded.pending_high_water", float(high_water))
                 else:
-                    started = time.perf_counter()
-                    coreset = self.sampler.sample(
-                        union.points,
-                        self.final_coreset_size,
-                        weights=union.weights,
-                        seed=final_seed,
-                        spread=spread,
-                    )
-                    diagnostics["host_reduce_seconds"] = time.perf_counter() - started
-                    diagnostics["host_reduces"] = 1.0
-                coreset.method = method
-            else:
-                coreset = union
+                    with _obs.span("sharded.map", shards=len(tasks)):
+                        shard_coresets = executor.map(compress_shard, tasks, payload=payload)
+                    union = merge_coresets(shard_coresets, method=method)
+
+                if self.final_coreset_size is not None and union.size > self.final_coreset_size:
+                    final_seed = keyed_seed_sequence(root, KEY_FINAL)
+                    if isinstance(executor, AsyncExecutor):
+                        # Ship the (small) union as a reduce task instead of
+                        # blocking the host thread — same sampler, seed, and
+                        # hints, so the bytes cannot differ.
+                        final_task = ShardTask(
+                            index=len(tasks),
+                            start=0,
+                            stop=union.size,
+                            m=self.final_coreset_size,
+                            sampler=self.sampler,
+                            seed=final_seed,
+                            spread=spread,
+                            stage="final",
+                        )
+                        final_payload = ArrayPayload(points=union.points, weights=union.weights)
+                        with _obs.span("sharded.final_reduce", offloaded=True):
+                            coreset = executor.submit(
+                                compress_shard, final_task, payload=final_payload
+                            ).result()
+                        diagnostics.reduces_offloaded = 1.0
+                        _obs.counter_add("sharded.reduces_offloaded", 1.0)
+                    else:
+                        started = time.perf_counter()
+                        with _obs.span("sharded.final_reduce", offloaded=False):
+                            coreset = self.sampler.sample(
+                                union.points,
+                                self.final_coreset_size,
+                                weights=union.weights,
+                                seed=final_seed,
+                                spread=spread,
+                            )
+                        diagnostics.host_reduce_seconds = time.perf_counter() - started
+                        diagnostics.host_reduces = 1.0
+                        _obs.counter_add("sharded.host_reduces", 1.0)
+                    coreset.method = method
+                else:
+                    coreset = union
         finally:
             if owns_executor:
                 executor.close()

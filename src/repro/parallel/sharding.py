@@ -25,6 +25,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import observability as _obs
 from repro.core.base import CoresetConstruction
 from repro.core.coreset import Coreset
 from repro.parallel.executor import ArrayPayload
@@ -79,20 +80,33 @@ class ShardTask:
     seed: np.random.SeedSequence
     spread: Optional[float] = None
     cost_bound: Optional[float] = None
+    #: Observability label only — which pipeline stage this compression
+    #: serves ("shard", "leaf", "reduce", "final").  Never feeds the
+    #: computation, so traced and untraced runs stay bit-identical.
+    stage: str = "shard"
 
 
 def compress_shard(payload: ArrayPayload, task: ShardTask) -> Coreset:
-    """Task function executed by any backend (module-level: picklable by reference)."""
-    points = payload.points[task.start : task.stop]
-    weights = payload.weights[task.start : task.stop]
-    return task.sampler.sample(
-        points,
-        min(task.m, points.shape[0]),
-        weights=weights,
-        seed=task.seed,
-        spread=task.spread,
-        cost_bound=task.cost_bound,
-    )
+    """Task function executed by any backend (module-level: picklable by reference).
+
+    The span below is the one instrumentation point that covers every
+    compression the executor runs — shard map tasks, streaming leaves, and
+    offloaded reduces — host- or worker-side alike (worker-side spans ride
+    back through the piggyback protocol in ``executor.py``).
+    """
+    with _obs.span(
+        f"compress.{task.stage}", index=task.index, rows=task.stop - task.start, m=task.m
+    ):
+        points = payload.points[task.start : task.stop]
+        weights = payload.weights[task.start : task.stop]
+        return task.sampler.sample(
+            points,
+            min(task.m, points.shape[0]),
+            weights=weights,
+            seed=task.seed,
+            spread=task.spread,
+            cost_bound=task.cost_bound,
+        )
 
 
 def merge_payload(coresets: Sequence[Coreset]) -> ArrayPayload:

@@ -31,8 +31,10 @@ from typing import Deque, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro import observability as _obs
 from repro.core.base import CoresetConstruction
 from repro.core.coreset import Coreset, merge_coresets
+from repro.observability import ExecutionDiagnostics
 from repro.core.spread_reduction import crude_cost_upper_bound
 from repro.geometry.quadtree import compute_spread
 from repro.parallel.executor import (
@@ -250,20 +252,23 @@ class MergeReduceTree:
             or self._compressions_since_refresh > self.spread_refresh_interval
         )
         if stale:
-            self._cached_spread = compute_spread(points, seed=self._spread_generator)
-            self._cached_diameter = diameter
-            self._compressions_since_refresh = 0
-            self.spread_refreshes += 1
-            if wants_bound:
-                self._cached_cost_bound = crude_cost_upper_bound(
-                    points,
-                    int(self.sampler.k),
-                    spread=self._cached_spread,
-                    seed=self._spread_generator,
-                ).upper_bound
-                self.cost_bound_refreshes += 1
-            else:
-                self._cached_cost_bound = None
+            with _obs.span("stream.hint_refresh", rows=int(points.shape[0])):
+                self._cached_spread = compute_spread(points, seed=self._spread_generator)
+                self._cached_diameter = diameter
+                self._compressions_since_refresh = 0
+                self.spread_refreshes += 1
+                _obs.counter_add("stream.spread_refreshes", 1.0)
+                if wants_bound:
+                    self._cached_cost_bound = crude_cost_upper_bound(
+                        points,
+                        int(self.sampler.k),
+                        spread=self._cached_spread,
+                        seed=self._spread_generator,
+                    ).upper_bound
+                    self.cost_bound_refreshes += 1
+                    _obs.counter_add("stream.cost_bound_refreshes", 1.0)
+                else:
+                    self._cached_cost_bound = None
         return self._cached_spread, self._cached_cost_bound if wants_bound else None
 
     def _compress(self, points: np.ndarray, weights: np.ndarray) -> Coreset:
@@ -311,17 +316,19 @@ class MergeReduceTree:
             merged = merge_coresets([partner, current])
             m = min(self.coreset_size, merged.points.shape[0])
             started = time.perf_counter()
-            current = self.sampler.sample(
-                merged.points,
-                m,
-                weights=merged.weights,
-                seed=self._reduce_seed(self.reductions),
-                spread=spread_hint,
-                cost_bound=cost_bound_hint,
-            )
+            with _obs.span("stream.host_reduce", level=level, rows=int(merged.points.shape[0])):
+                current = self.sampler.sample(
+                    merged.points,
+                    m,
+                    weights=merged.weights,
+                    seed=self._reduce_seed(self.reductions),
+                    spread=spread_hint,
+                    cost_bound=cost_bound_hint,
+                )
             self.host_reduce_seconds += time.perf_counter() - started
             self.host_reduces += 1
             self.reductions += 1
+            _obs.counter_add("stream.host_reduces", 1.0)
             level += 1
         self.levels[level] = current
 
@@ -360,6 +367,7 @@ class MergeReduceTree:
                 seed=seed,
                 spread=spread_hint,
                 cost_bound=cost_bound_hint,
+                stage="reduce",
             )
             return task, payload
 
@@ -389,6 +397,7 @@ class MergeReduceTree:
             )
             self.reductions += 1
             self.reduces_offloaded += 1
+            _obs.counter_add("stream.reduces_offloaded", 1.0)
             level += 1
         self.levels[level] = current
 
@@ -438,6 +447,7 @@ class MergeReduceTree:
                 weights = np.ones(points.shape[0], dtype=np.float64)
             leaf_index = self.blocks_seen
             self.blocks_seen += 1
+            _obs.counter_add("stream.blocks", 1.0)
             if self.share_stream_state and points.shape[0]:
                 self._observe(points)
             spread, cost_bound = self._stream_hints(points)
@@ -460,6 +470,7 @@ class MergeReduceTree:
                     seed=seed,
                     spread=spread,
                     cost_bound=cost_bound,
+                    stage="leaf",
                 )
             )
             start = stop
@@ -487,6 +498,7 @@ class MergeReduceTree:
                     for future, (spread, cost_bound) in zip(futures, hints)
                 )
             self.pending_high_water = max(self.pending_high_water, len(self._pending))
+            _obs.gauge_set("stream.pending_high_water", float(self.pending_high_water))
             self._drain_pending(self.pending_limit)
             return
         self.flush()  # earlier async batches must fold before this one
@@ -511,9 +523,12 @@ class MergeReduceTree:
         while len(self._pending) > target:
             future, spread, cost_bound, folded = self._pending.popleft()
             if folded:
-                future.result()
+                with _obs.span("stream.pending_wait", folded=True):
+                    future.result()
             else:
-                self._fold(future.result(), spread, cost_bound)
+                with _obs.span("stream.pending_wait", folded=False):
+                    leaf = future.result()
+                self._fold(leaf, spread, cost_bound)
 
     def flush(self) -> None:
         """Settle every compression still in flight (arrival order).
@@ -538,9 +553,11 @@ class MergeReduceTree:
         if weights is None:
             weights = np.ones(points.shape[0], dtype=np.float64)
         self.blocks_seen += 1
+        _obs.counter_add("stream.blocks", 1.0)
         if self.share_stream_state and points.shape[0]:
             self._observe(points)
-        current = self._compress(points, weights)
+        with _obs.span("stream.leaf_compress", rows=int(points.shape[0])):
+            current = self._compress(points, weights)
         level = 0
         # Carry-propagation: merging two level-l compressions yields a
         # level-(l+1) compression, exactly like binary addition.
@@ -548,46 +565,50 @@ class MergeReduceTree:
             partner = self.levels.pop(level)
             merged = merge_coresets([partner, current])
             started = time.perf_counter()
-            current = self._compress(merged.points, merged.weights)
+            with _obs.span("stream.host_reduce", level=level, rows=int(merged.points.shape[0])):
+                current = self._compress(merged.points, merged.weights)
             self.host_reduce_seconds += time.perf_counter() - started
             self.host_reduces += 1
             self.reductions += 1
+            _obs.counter_add("stream.host_reduces", 1.0)
             level += 1
         self.levels[level] = current
 
     def finalize(self) -> Coreset:
         """Concatenate the surviving per-level compressions and reduce once more."""
-        self.flush()
-        if not self.levels:
-            raise ValueError("no blocks were added to the merge-&-reduce tree")
-        survivors = [self._resolve(self.levels[level]) for level in sorted(self.levels)]
-        if len(survivors) == 1:
-            combined = survivors[0]
-        else:
-            combined = merge_coresets(survivors)
-        if combined.size > self.coreset_size:
-            started = time.perf_counter()
-            if self.spawn_seeds:
-                share = self.share_stream_state
-                final = self.sampler.sample(
-                    combined.points,
-                    min(self.coreset_size, combined.points.shape[0]),
-                    weights=combined.weights,
-                    seed=self._reduce_seed(self.reductions),
-                    spread=self._cached_spread if share else None,
-                    cost_bound=(
-                        self._cached_cost_bound
-                        if share and self._wants_cost_bound()
-                        else None
-                    ),
-                )
+        with _obs.span("stream.finalize"):
+            self.flush()
+            if not self.levels:
+                raise ValueError("no blocks were added to the merge-&-reduce tree")
+            survivors = [self._resolve(self.levels[level]) for level in sorted(self.levels)]
+            if len(survivors) == 1:
+                combined = survivors[0]
             else:
-                final = self._compress(combined.points, combined.weights)
-            self.host_reduce_seconds += time.perf_counter() - started
-            self.host_reduces += 1
-            self.reductions += 1
-        else:
-            final = combined
+                combined = merge_coresets(survivors)
+            if combined.size > self.coreset_size:
+                started = time.perf_counter()
+                if self.spawn_seeds:
+                    share = self.share_stream_state
+                    final = self.sampler.sample(
+                        combined.points,
+                        min(self.coreset_size, combined.points.shape[0]),
+                        weights=combined.weights,
+                        seed=self._reduce_seed(self.reductions),
+                        spread=self._cached_spread if share else None,
+                        cost_bound=(
+                            self._cached_cost_bound
+                            if share and self._wants_cost_bound()
+                            else None
+                        ),
+                    )
+                else:
+                    final = self._compress(combined.points, combined.weights)
+                self.host_reduce_seconds += time.perf_counter() - started
+                self.host_reduces += 1
+                self.reductions += 1
+                _obs.counter_add("stream.host_reduces", 1.0)
+            else:
+                final = combined
         final.method = f"merge_reduce[{self.sampler.name}]"
         return final
 
@@ -633,7 +654,8 @@ def _iterate_prefetched(stream: Iterable[Block], depth: int) -> Iterator[Block]:
     thread.start()
     try:
         while True:
-            item = buffered.get()
+            with _obs.span("stream.prefetch_wait"):
+                item = buffered.get()
             if item is sentinel:
                 break
             yield item
@@ -708,7 +730,9 @@ class StreamingCoresetPipeline:
     batch_size: Optional[int] = None
     prefetch_batches: Optional[int] = None
     overlap_reduces: bool = True
-    last_diagnostics: Dict[str, float] = field(default_factory=dict, init=False, repr=False)
+    last_diagnostics: ExecutionDiagnostics = field(
+        default_factory=ExecutionDiagnostics, init=False, repr=False
+    )
 
     def _tree(self) -> MergeReduceTree:
         return MergeReduceTree(
@@ -722,15 +746,16 @@ class StreamingCoresetPipeline:
         )
 
     def _record_diagnostics(self, tree: MergeReduceTree) -> None:
-        self.last_diagnostics = {
-            "reductions": float(tree.reductions),
-            "spread_refreshes": float(tree.spread_refreshes),
-            "cost_bound_refreshes": float(tree.cost_bound_refreshes),
-            "reduces_offloaded": float(tree.reduces_offloaded),
-            "host_reduces": float(tree.host_reduces),
-            "host_reduce_seconds": tree.host_reduce_seconds,
-            "pending_high_water": float(tree.pending_high_water),
-        }
+        self.last_diagnostics = ExecutionDiagnostics(
+            reductions=float(tree.reductions),
+            spread_refreshes=float(tree.spread_refreshes),
+            cost_bound_refreshes=float(tree.cost_bound_refreshes),
+            reduces_offloaded=float(tree.reduces_offloaded),
+            host_reduces=float(tree.host_reduces),
+            host_reduce_seconds=tree.host_reduce_seconds,
+            pending_high_water=float(tree.pending_high_water),
+            blocks_seen=float(tree.blocks_seen),
+        )
 
     def _consume(self, tree: MergeReduceTree, stream: Iterable[Block]) -> None:
         if self.executor is None and self.prefetch_batches is None:
