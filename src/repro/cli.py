@@ -64,7 +64,12 @@ from repro.parallel import (
     resolve_async_executor,
     resolve_executor,
 )
-from repro.streaming import DataStream, StreamingCoresetPipeline
+from repro.streaming import (
+    DataStream,
+    ExponentialDecay,
+    SlidingCountWindow,
+    StreamingCoresetPipeline,
+)
 
 #: Method names accepted by ``--method`` and their constructors.
 METHODS = ("uniform", "lightweight", "welterweight", "sensitivity", "fast_coreset")
@@ -117,32 +122,48 @@ def _open_stream(path: str, block_size_for: Callable[[int], int]):
     return DataStream(points=points, block_size=block_size_for(points.shape[0]))
 
 
+def _window_policy(arguments: argparse.Namespace):
+    """The window policy requested on the command line, or ``None``."""
+    if getattr(arguments, "window", None) is not None:
+        return SlidingCountWindow(arguments.window)
+    if getattr(arguments, "decay", None) is not None:
+        return ExponentialDecay(arguments.decay)
+    return None
+
+
 def _compress_streaming(arguments: argparse.Namespace, sampler, backend: str) -> tuple:
-    """The ``--prefetch-batches`` path: overlapped streaming compression."""
+    """The streaming paths: ``--prefetch-batches`` and/or ``--window``/``--decay``."""
+    blocks = arguments.blocks if arguments.blocks is not None else STREAM_BLOCKS
     stream = _open_stream(
         arguments.data,
-        lambda n: max(1, int(np.ceil(n / STREAM_BLOCKS))),
+        lambda n: max(1, int(np.ceil(n / blocks))),
     )
     n = stream.n_points
     m = arguments.m if arguments.m is not None else 40 * arguments.k
     m = min(m, n)
-    executor = resolve_async_executor(backend, workers=arguments.workers)
+    policy = _window_policy(arguments)
+    executor = None
     try:
+        if arguments.prefetch_batches is not None:
+            executor = resolve_async_executor(backend, workers=arguments.workers)
         pipeline = StreamingCoresetPipeline(
             sampler=sampler,
             coreset_size=m,
             seed=arguments.seed,
             executor=executor,
             prefetch_batches=arguments.prefetch_batches,
+            window=policy,
+            drift_threshold=arguments.drift_threshold,
         )
         coreset, statistics = pipeline.run_with_statistics(stream)
     finally:
-        executor.close()
+        if executor is not None:
+            executor.close()
     diagnostics = pipeline.last_diagnostics
     execution = {
-        "backend": f"async+{executor.name}",
-        "workers": executor.workers,
-        "mode": "streaming",
+        "backend": "serial" if executor is None else f"async+{executor.name}",
+        "workers": 1 if executor is None else executor.workers,
+        "mode": "streaming" if policy is None else f"windowed_streaming[{policy.name}]",
         "blocks": int(statistics["blocks"]),
         "prefetch_batches": arguments.prefetch_batches,
         "reductions": int(statistics["reductions"]),
@@ -151,10 +172,57 @@ def _compress_streaming(arguments: argparse.Namespace, sampler, backend: str) ->
         "reduces_offloaded": int(diagnostics.get("reduces_offloaded", 0)),
         "pending_high_water": int(diagnostics.get("pending_high_water", 0)),
     }
+    if policy is not None:
+        execution["window"] = arguments.window
+        execution["decay_half_life"] = arguments.decay
+        execution["blocks_expired"] = int(statistics["blocks_expired"])
+        execution["drift_events"] = int(statistics["drift_events"])
     return n, coreset, execution
 
 
 def _command_compress(arguments: argparse.Namespace) -> int:
+    streaming = (
+        arguments.prefetch_batches is not None
+        or arguments.window is not None
+        or arguments.decay is not None
+    )
+    if arguments.window is not None and arguments.decay is not None:
+        print(
+            "error: --window (sliding count window) and --decay (exponential "
+            "half-life) are mutually exclusive window policies",
+            file=sys.stderr,
+        )
+        return 2
+    if arguments.window is not None and arguments.window < 1:
+        print("error: --window must cover at least one block", file=sys.stderr)
+        return 2
+    if arguments.decay is not None and not arguments.decay > 0:
+        print("error: --decay half-life must be positive", file=sys.stderr)
+        return 2
+    if (arguments.window is not None or arguments.decay is not None) and arguments.shards is not None:
+        print(
+            "error: --window/--decay (windowed streaming compression) and "
+            "--shards (sharded build) are mutually exclusive — a sharded build "
+            "has no block arrival order to expire",
+            file=sys.stderr,
+        )
+        return 2
+    if arguments.blocks is not None and not streaming:
+        print(
+            "error: --blocks only applies to the streaming paths "
+            "(--prefetch-batches, --window, or --decay)",
+            file=sys.stderr,
+        )
+        return 2
+    if arguments.blocks is not None and arguments.blocks < 1:
+        print("error: --blocks must be at least 1", file=sys.stderr)
+        return 2
+    if arguments.drift_threshold is not None and arguments.window is None and arguments.decay is None:
+        print(
+            "error: --drift-threshold requires a window policy (--window or --decay)",
+            file=sys.stderr,
+        )
+        return 2
     if arguments.prefetch_batches is not None:
         # The streaming path is a different construction (merge-&-reduce
         # over blocks, keyed by the block structure), not a faster sharded
@@ -208,7 +276,7 @@ def _run_compress(arguments: argparse.Namespace, sampler, shards: int) -> dict:
     if backend is None:
         backend = "process" if arguments.workers > 1 else "serial"
     start = time.perf_counter()
-    if arguments.prefetch_batches is not None:
+    if arguments.prefetch_batches is not None or _window_policy(arguments) is not None:
         n_points, coreset, execution = _compress_streaming(arguments, sampler, backend)
         execution["shards"] = 1
     else:
@@ -381,6 +449,44 @@ def build_parser() -> argparse.ArgumentParser:
         "compressing pool; implies --async, is mutually exclusive with "
         "--shards, and the result is keyed by --seed and the block "
         "structure (N changes wall-clock only)",
+    )
+    compress.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        metavar="N",
+        help="windowed streaming compression: only the last N blocks of the "
+        "stream are live, older blocks are retired before every fold; the "
+        "coreset summarises the sliding window, not the whole stream; "
+        "mutually exclusive with --decay and --shards",
+    )
+    compress.add_argument(
+        "--decay",
+        type=float,
+        default=None,
+        metavar="HALF_LIFE",
+        help="decaying streaming compression: every block's weight is halved "
+        "each HALF_LIFE block-stamps of age, so the coreset emphasises "
+        "recent data without ever dropping blocks; mutually exclusive with "
+        "--window and --shards",
+    )
+    compress.add_argument(
+        "--blocks",
+        type=int,
+        default=None,
+        metavar="B",
+        help="block count for the streaming paths (default %d); only valid "
+        "together with --prefetch-batches, --window, or --decay" % STREAM_BLOCKS,
+    )
+    compress.add_argument(
+        "--drift-threshold",
+        type=float,
+        default=None,
+        metavar="T",
+        help="fire the drift detector (refreshing the spread/cost-bound hint "
+        "caches) when the block mean moves more than T times the window "
+        "bounding-box diagonal from its anchor (default 0.25); requires "
+        "--window or --decay",
     )
     compress.add_argument(
         "--trace",

@@ -16,6 +16,7 @@ from repro.data.synthetic import (
     add_uniform_jitter,
     benchmark_dataset,
     c_outlier_dataset,
+    drifting_mixture,
     gaussian_mixture,
     geometric_dataset,
     high_spread_dataset,
@@ -38,6 +39,7 @@ __all__ = [
     "add_uniform_jitter",
     "benchmark_dataset",
     "c_outlier_dataset",
+    "drifting_mixture",
     "gaussian_mixture",
     "geometric_dataset",
     "high_spread_dataset",

@@ -247,6 +247,73 @@ def gaussian_mixture(
     )
 
 
+# ------------------------------------------------------------- drifting mixture
+def drifting_mixture(
+    n: int = DEFAULT_SYNTHETIC_N,
+    d: int = DEFAULT_SYNTHETIC_D,
+    *,
+    n_clusters: int = 5,
+    drift_at: float = 0.5,
+    shift: float = 2.0,
+    cluster_spread: float = 1.0,
+    center_box: float = 100.0,
+    jitter: float = DEFAULT_JITTER,
+    seed: SeedLike = None,
+) -> Dataset:
+    """A Gaussian mixture whose centers jump partway through the row order.
+
+    The windowed-streaming drift scenario: rows are ordered by *arrival*,
+    the first ``round(n * drift_at)`` rows drawn from a mixture of
+    ``n_clusters`` Gaussians, the rest from the same mixture translated by
+    ``shift * center_box`` in every coordinate.  Within each phase the
+    cluster assignment is uniform, so any contiguous block of rows is a
+    fair sample of its phase and the per-block mean moves only at the
+    drift row — exactly the signal a
+    :class:`~repro.streaming.window.DriftDetector` must fire on (and must
+    stay silent before).  ``parameters["drift_row"]`` records where the
+    jump happens; labels encode ``cluster + n_clusters * phase``.
+    """
+    n = check_integer(n, name="n")
+    d = check_integer(d, name="d")
+    n_clusters = check_integer(n_clusters, name="n_clusters")
+    if not 0.0 < drift_at < 1.0:
+        raise ValueError(f"drift_at must lie strictly between 0 and 1, got {drift_at}")
+    generator = as_generator(seed)
+    n_post = max(1, n - max(1, int(round(n * drift_at))))
+    n_pre = n - n_post
+    if n_pre < 1:
+        raise ValueError(f"n={n} is too small to hold both phases")
+    centers = generator.uniform(-center_box, center_box, size=(n_clusters, d))
+    labels = np.empty(n, dtype=np.int64)
+    segments = []
+    cursor = 0
+    for phase, (size, offset) in enumerate([(n_pre, 0.0), (n_post, shift * center_box)]):
+        assignment = generator.integers(0, n_clusters, size=size)
+        segments.append(
+            centers[assignment]
+            + offset
+            + generator.normal(scale=cluster_spread, size=(size, d))
+        )
+        labels[cursor : cursor + size] = assignment + phase * n_clusters
+        cursor += size
+    points = np.concatenate(segments, axis=0)
+    points = add_uniform_jitter(points, amplitude=jitter, seed=generator)
+    return Dataset(
+        name="drifting",
+        points=points,
+        labels=labels,
+        parameters={
+            "n": n,
+            "d": d,
+            "n_clusters": n_clusters,
+            "drift_at": drift_at,
+            "drift_row": n_pre,
+            "shift": shift,
+            "cluster_spread": cluster_spread,
+        },
+    )
+
+
 # -------------------------------------------------------------------- benchmark
 def _single_benchmark_instance(
     k: int,

@@ -27,6 +27,12 @@ Documented keys:
     Maximum number of in-flight pool tasks observed.
 ``blocks_seen``
     Stream blocks ingested (streaming pipeline only).
+``blocks_expired``
+    Blocks retired from a windowed stream's live window (zero for
+    non-windowed runs).
+``drift_events``
+    Drift-detector firings that invalidated the shared hint caches
+    (windowed streaming only).
 
 The class supports read-only dict-style access (``diag["host_reduces"]``,
 ``.get``, ``in``, iteration) so existing equivalence suites and CLI code
@@ -53,6 +59,8 @@ class ExecutionDiagnostics:
     host_reduce_seconds: float = 0.0
     pending_high_water: float = 0.0
     blocks_seen: float = 0.0
+    blocks_expired: float = 0.0
+    drift_events: float = 0.0
     # Keys set by callers that predate a typed field land here so dict
     # access never silently narrows what a channel can carry.
     extra: Dict[str, float] = field(default_factory=dict)
@@ -66,6 +74,8 @@ class ExecutionDiagnostics:
         "host_reduce_seconds",
         "pending_high_water",
         "blocks_seen",
+        "blocks_expired",
+        "drift_events",
     )
 
     @classmethod

@@ -39,6 +39,7 @@ KEY_SHARD = 1  #: per-shard compression randomness (keyed by shard index)
 KEY_FINAL = 2  #: the host-side final re-compression
 KEY_STREAM_LEAF = 3  #: streaming leaf compressions (keyed by block index)
 KEY_STREAM_REDUCE = 4  #: streaming reduce compressions (keyed by reduce index)
+KEY_STREAM_QUERY = 5  #: windowed-stream query/final compressions (keyed by query index)
 
 
 def shard_bounds(n: int, n_shards: int) -> List[Tuple[int, int]]:

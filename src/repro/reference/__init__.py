@@ -20,6 +20,7 @@ that would silently move the goalposts of both the tests and the benchmark.
 """
 
 from repro.reference.naive_lloyd import naive_kmeans
+from repro.reference.naive_window import NaiveWindowReference
 from repro.reference.prenative_hotpath import PreNativeQuadtreeEmbedding, prenative_kmeans
 from repro.reference.presweep_hotpath import PreSweepQuadtreeEmbedding, presweep_kmeans
 from repro.reference.seed_hotpath import SeedQuadtreeEmbedding, seed_fast_kmeans_plus_plus
@@ -35,6 +36,7 @@ __all__ = [
     "PreSweepQuadtreeEmbedding",
     "SeedQuadtreeEmbedding",
     "SeedMergeReduceTree",
+    "NaiveWindowReference",
     "naive_kmeans",
     "prenative_kmeans",
     "presweep_kmeans",

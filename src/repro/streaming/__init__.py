@@ -12,12 +12,24 @@ the stream length.  Three mechanisms are provided:
   clustering-feature tree producing k-means coresets in a stream.
 * :class:`~repro.streaming.streamkm.StreamKMPlusPlus` — StreamKM++ [1], a
   coreset tree driven by k-means++ style D²-sampling.
+
+Beyond the paper, :mod:`repro.streaming.window` adds windowed and decaying
+stream semantics (sliding count window, exponential time decay, drift
+detection) on top of the merge-&-reduce tree — see ``streaming/README.md``
+for the bucket-expiry protocol.
 """
 
 from repro.streaming.bico import BicoCoreset, ClusteringFeature
 from repro.streaming.merge_reduce import MergeReduceTree, StreamingCoresetPipeline
-from repro.streaming.stream import DataStream, iterate_blocks
+from repro.streaming.stream import DataStream, block_size_plan, iterate_blocks
 from repro.streaming.streamkm import StreamKMPlusPlus
+from repro.streaming.window import (
+    DriftDetector,
+    ExponentialDecay,
+    SlidingCountWindow,
+    WindowPolicy,
+    WindowedMergeReduceTree,
+)
 
 __all__ = [
     "BicoCoreset",
@@ -25,6 +37,12 @@ __all__ = [
     "MergeReduceTree",
     "StreamingCoresetPipeline",
     "DataStream",
+    "DriftDetector",
+    "ExponentialDecay",
+    "SlidingCountWindow",
+    "WindowPolicy",
+    "WindowedMergeReduceTree",
+    "block_size_plan",
     "iterate_blocks",
     "StreamKMPlusPlus",
 ]

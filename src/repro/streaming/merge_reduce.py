@@ -698,7 +698,21 @@ class StreamingCoresetPipeline:
     overlap_reduces:
         On the asynchronous path, also route reduce compressions through
         the pool (default; see :class:`MergeReduceTree`).  Affects where
-        work runs, never the result.
+        work runs, never the result.  Ignored when a ``window`` is set —
+        the windowed tree keeps every fold on the host.
+    window:
+        Optional :class:`~repro.streaming.window.WindowPolicy` switching
+        the pipeline to a
+        :class:`~repro.streaming.window.WindowedMergeReduceTree`: a
+        :class:`~repro.streaming.window.SlidingCountWindow` keeps only the
+        last ``N`` blocks, an
+        :class:`~repro.streaming.window.ExponentialDecay` fades old blocks
+        by half-life.  The final coreset then summarises the *window*, not
+        the whole stream.
+    drift_threshold:
+        Forwarded to the windowed tree's drift detector (see
+        :class:`~repro.streaming.window.WindowedMergeReduceTree`); only
+        meaningful together with ``window``.
 
     Attributes
     ----------
@@ -730,18 +744,36 @@ class StreamingCoresetPipeline:
     batch_size: Optional[int] = None
     prefetch_batches: Optional[int] = None
     overlap_reduces: bool = True
+    window: Optional["WindowPolicy"] = None
+    drift_threshold: Optional[float] = None
     last_diagnostics: ExecutionDiagnostics = field(
         default_factory=ExecutionDiagnostics, init=False, repr=False
     )
 
     def _tree(self) -> MergeReduceTree:
+        spawn_seeds = self.executor is not None or self.prefetch_batches is not None
+        if self.window is not None:
+            # Imported here: window.py subclasses MergeReduceTree, so the
+            # module-level import would be circular.
+            from repro.streaming.window import WindowedMergeReduceTree
+
+            return WindowedMergeReduceTree(
+                sampler=self.sampler,
+                coreset_size=self.coreset_size,
+                seed=self.seed,
+                share_stream_state=self.share_stream_state,
+                cache_cost_bound=self.cache_cost_bound,
+                spawn_seeds=spawn_seeds,
+                window=self.window,
+                drift_threshold=self.drift_threshold,
+            )
         return MergeReduceTree(
             sampler=self.sampler,
             coreset_size=self.coreset_size,
             seed=self.seed,
             share_stream_state=self.share_stream_state,
             cache_cost_bound=self.cache_cost_bound,
-            spawn_seeds=self.executor is not None or self.prefetch_batches is not None,
+            spawn_seeds=spawn_seeds,
             overlap_reduces=self.overlap_reduces,
         )
 
@@ -755,6 +787,8 @@ class StreamingCoresetPipeline:
             host_reduce_seconds=tree.host_reduce_seconds,
             pending_high_water=float(tree.pending_high_water),
             blocks_seen=float(tree.blocks_seen),
+            blocks_expired=float(getattr(tree, "blocks_expired", 0)),
+            drift_events=float(getattr(tree, "drift_events", 0)),
         )
 
     def _consume(self, tree: MergeReduceTree, stream: Iterable[Block]) -> None:
@@ -837,6 +871,8 @@ class StreamingCoresetPipeline:
             "total_weight": coreset.total_weight,
             "spread_refreshes": float(tree.spread_refreshes),
             "cost_bound_refreshes": float(tree.cost_bound_refreshes),
+            "blocks_expired": float(getattr(tree, "blocks_expired", 0)),
+            "drift_events": float(getattr(tree, "drift_events", 0)),
         }
         return coreset, statistics
 
@@ -850,12 +886,16 @@ def stream_dataset(
     weights: Optional[np.ndarray] = None,
     seed: SeedLike = None,
     share_stream_state: bool = True,
+    window: Optional["WindowPolicy"] = None,
+    drift_threshold: Optional[float] = None,
 ) -> Coreset:
     """Convenience wrapper: stream an in-memory dataset through merge-&-reduce.
 
     This is the exact setup of the paper's streaming experiments (Table 5 /
     Figure 5): the dataset is split into ``n_blocks`` blocks and compressed
-    with the given sampler under composition.
+    with the given sampler under composition.  With a ``window`` policy the
+    result summarises only the live window of the stream (sliding count
+    window) or its decay-weighted history (exponential decay).
     """
     stream = DataStream.with_block_count(points, n_blocks, weights=weights)
     pipeline = StreamingCoresetPipeline(
@@ -863,6 +903,8 @@ def stream_dataset(
         coreset_size=coreset_size,
         seed=seed,
         share_stream_state=share_stream_state,
+        window=window,
+        drift_threshold=drift_threshold,
     )
     return pipeline.run(stream)
 

@@ -5,12 +5,21 @@ and present them one at a time (Section 5.4).  :class:`DataStream` models
 exactly that: an iterator over ``(points, weights)`` blocks that never
 requires the consumer to hold the full dataset, which is what the
 merge-&-reduce pipeline, BICO, and StreamKM++ consume.
+
+Two contracts keep the "never hold the full dataset" promise real:
+
+* the unshuffled path yields *contiguous slices* of the backing array (no
+  gather copy, so a memory-mapped backing keeps its sequential read-ahead),
+  and
+* the unit-weight default is lazy — no ``np.ones(n)`` host array is ever
+  materialised for the whole stream; each block receives its own small ones
+  vector instead.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional, Tuple
+from typing import Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -56,6 +65,49 @@ def _check_stream_points(points: np.ndarray) -> np.ndarray:
     return check_points(points)
 
 
+def block_size_plan(n_points: int, n_blocks: int) -> Tuple[int, ...]:
+    """Split ``n_points`` rows into exactly ``min(n_points, n_blocks)`` sizes.
+
+    The remainder is spread over the *leading* blocks: ``n_points %
+    n_blocks`` blocks of size ``ceil(n_points / n_blocks)`` followed by
+    blocks of size ``floor(n_points / n_blocks)``, so no two blocks differ
+    by more than one row and the sizes sum to ``n_points`` exactly.  When
+    there are fewer points than requested blocks the plan degrades to one
+    singleton block per point (a block must hold at least one row).
+    """
+    n_points = check_integer(n_points, name="n_points")
+    n_blocks = check_integer(n_blocks, name="n_blocks")
+    if n_points <= n_blocks:
+        return (1,) * n_points
+    floor, remainder = divmod(n_points, n_blocks)
+    return (floor + 1,) * remainder + (floor,) * (n_blocks - remainder)
+
+
+def _block_bounds(
+    n: int, block_size: Optional[int], sizes: Optional[Sequence[int]]
+) -> Iterator[Tuple[int, int]]:
+    """Yield the ``[start, stop)`` row ranges of each block."""
+    if sizes is not None:
+        start = 0
+        for size in sizes:
+            yield start, start + size
+            start += size
+        return
+    for start in range(0, n, block_size):
+        yield start, min(start + block_size, n)
+
+
+def _check_sizes(sizes: Sequence[int], n: int) -> Tuple[int, ...]:
+    sizes = tuple(int(size) for size in sizes)
+    if any(size < 1 for size in sizes):
+        raise ValueError(f"every block size must be >= 1, got {sizes}")
+    if sum(sizes) != n:
+        raise ValueError(
+            f"block sizes must sum to the number of points ({n}), got {sum(sizes)}"
+        )
+    return sizes
+
+
 def iterate_blocks(
     points: np.ndarray,
     block_size: int,
@@ -63,15 +115,23 @@ def iterate_blocks(
     weights: Optional[np.ndarray] = None,
     shuffle: bool = False,
     seed: SeedLike = None,
+    sizes: Optional[Sequence[int]] = None,
 ) -> Iterator[Block]:
     """Yield ``(points, weights)`` blocks of at most ``block_size`` rows.
+
+    When ``shuffle`` is off, the yielded point blocks are **contiguous
+    read-only views** of ``points`` — no per-block gather copy, which is
+    what keeps a memory-mapped backing on its sequential read-ahead path.
+    When no ``weights`` are given each block receives a fresh unit-weight
+    vector of its own length; the full-stream ``np.ones(n)`` is never
+    materialised.
 
     Parameters
     ----------
     points:
         The full dataset of shape ``(n, d)``.
     block_size:
-        Maximum number of rows per block.
+        Maximum number of rows per block (ignored when ``sizes`` is given).
     weights:
         Optional per-point weights carried along with each block.
     shuffle:
@@ -79,17 +139,36 @@ def iterate_blocks(
         streaming results do not depend on a favourable arrival order.
     seed:
         Randomness for the shuffle.
+    sizes:
+        Optional explicit per-block sizes (must sum to ``n``); this is how
+        :meth:`DataStream.with_block_count` hits its exact block count.
     """
     points = _check_stream_points(points)
     n = points.shape[0]
-    block_size = check_integer(block_size, name="block_size")
-    weights = check_weights(weights, n)
-    order = np.arange(n)
+    if sizes is not None:
+        sizes = _check_sizes(sizes, n)
+    else:
+        block_size = check_integer(block_size, name="block_size")
+    if weights is not None:
+        weights = check_weights(weights, n)
     if shuffle:
         order = as_generator(seed).permutation(n)
-    for start in range(0, n, block_size):
-        index = order[start : start + block_size]
-        yield points[index], weights[index]
+        for start, stop in _block_bounds(n, block_size, sizes):
+            index = order[start:stop]
+            block_weights = (
+                weights[index]
+                if weights is not None
+                else np.ones(stop - start, dtype=np.float64)
+            )
+            yield points[index], block_weights
+        return
+    for start, stop in _block_bounds(n, block_size, sizes):
+        block_weights = (
+            weights[start:stop]
+            if weights is not None
+            else np.ones(stop - start, dtype=np.float64)
+        )
+        yield points[start:stop], block_weights
 
 
 @dataclass
@@ -107,9 +186,15 @@ class DataStream:
     block_size:
         Rows per block.
     weights:
-        Optional per-point weights.
+        Optional per-point weights.  ``None`` means unit weights; the
+        default is kept lazy (each block gets its own ones vector) rather
+        than materialised as a full ``np.ones(n)``.
     shuffle / seed:
         Whether (and how) to permute the arrival order on every replay.
+    block_sizes:
+        Optional explicit per-block size plan (overrides ``block_size``);
+        set by :meth:`with_block_count` so the promised block count is hit
+        exactly even when ``block_size`` does not divide ``n``.
     """
 
     points: np.ndarray
@@ -117,11 +202,15 @@ class DataStream:
     weights: Optional[np.ndarray] = None
     shuffle: bool = False
     seed: SeedLike = None
+    block_sizes: Optional[Tuple[int, ...]] = None
 
     def __post_init__(self) -> None:
         self.points = _check_stream_points(self.points)
-        self.weights = check_weights(self.weights, self.points.shape[0])
+        if self.weights is not None:
+            self.weights = check_weights(self.weights, self.points.shape[0])
         self.block_size = check_integer(self.block_size, name="block_size")
+        if self.block_sizes is not None:
+            self.block_sizes = _check_sizes(self.block_sizes, self.points.shape[0])
 
     def __iter__(self) -> Iterator[Block]:
         return iterate_blocks(
@@ -130,6 +219,7 @@ class DataStream:
             weights=self.weights,
             shuffle=self.shuffle,
             seed=self.seed,
+            sizes=self.block_sizes,
         )
 
     @property
@@ -140,6 +230,8 @@ class DataStream:
     @property
     def n_blocks(self) -> int:
         """Number of blocks the stream will emit."""
+        if self.block_sizes is not None:
+            return len(self.block_sizes)
         return int(np.ceil(self.n_points / self.block_size))
 
     @property
@@ -219,8 +311,25 @@ class DataStream:
         shuffle: bool = False,
         seed: SeedLike = None,
     ) -> "DataStream":
-        """Build a stream that splits ``points`` into exactly ``n_blocks`` blocks."""
-        points = check_points(points)
+        """Build a stream that splits ``points`` into exactly ``n_blocks`` blocks.
+
+        The remainder rows are spread over the leading blocks (see
+        :func:`block_size_plan`), so the stream emits exactly ``n_blocks``
+        blocks whose sizes differ by at most one — the old ``ceil``-sized
+        uniform split could silently emit fewer blocks than promised (6
+        points over 4 blocks gave 3 blocks of 2).  With fewer points than
+        requested blocks the stream degrades to one singleton block per
+        point.  Validation goes through the stream-points path, so a
+        memory-mapped input is not finiteness-scanned here either.
+        """
+        points = _check_stream_points(points)
         n_blocks = check_integer(n_blocks, name="n_blocks")
-        block_size = max(1, int(np.ceil(points.shape[0] / n_blocks)))
-        return cls(points=points, block_size=block_size, weights=weights, shuffle=shuffle, seed=seed)
+        sizes = block_size_plan(points.shape[0], n_blocks)
+        return cls(
+            points=points,
+            block_size=max(sizes),
+            weights=weights,
+            shuffle=shuffle,
+            seed=seed,
+            block_sizes=sizes,
+        )

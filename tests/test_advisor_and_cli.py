@@ -285,3 +285,67 @@ class TestCliParallel:
             archives.append(np.load(output))
         assert np.array_equal(archives[0]["points"], archives[1]["points"])
         assert np.array_equal(archives[0]["weights"], archives[1]["weights"])
+
+    def test_windowed_compress_reports_window_execution(self, data_file, tmp_path, capsys):
+        output = str(tmp_path / "windowed.npz")
+        code = main(
+            ["compress", data_file, "--k", "5", "--m", "100", "--window", "4",
+             "--blocks", "10", "--output", output, "--seed", "2"]
+        )
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["mode"] == "windowed_streaming[sliding]"
+        assert summary["method"].startswith("windowed_merge_reduce[sliding]")
+        assert summary["window"] == 4
+        assert summary["decay_half_life"] is None
+        assert summary["blocks"] == 10
+        # 10 blocks through a 4-block window retire the first 6.
+        assert summary["blocks_expired"] == 6
+        assert summary["drift_events"] == 0
+        assert summary["backend"] == "serial"
+        assert summary["shards"] == 1
+
+    def test_decay_compress_with_prefetch_overlap(self, data_file, tmp_path, capsys):
+        output = str(tmp_path / "decayed.npz")
+        code = main(
+            ["compress", data_file, "--k", "5", "--m", "100", "--decay", "3.0",
+             "--prefetch-batches", "2", "--output", output, "--seed", "2"]
+        )
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["mode"] == "windowed_streaming[decay]"
+        assert summary["decay_half_life"] == 3.0
+        assert summary["blocks_expired"] == 0
+        assert summary["backend"].startswith("async+")
+        # Decay fades old blocks: total weight well below the input size.
+        assert summary["total_weight"] < summary["input_points"]
+
+    def test_window_and_decay_mutually_exclusive(self, data_file, capsys):
+        code = main(
+            ["compress", data_file, "--k", "5", "--window", "4", "--decay", "2.0"]
+        )
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_window_rejects_conflicting_shards(self, data_file, capsys):
+        code = main(
+            ["compress", data_file, "--k", "5", "--window", "4", "--shards", "3"]
+        )
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_blocks_requires_a_streaming_path(self, data_file, capsys):
+        code = main(["compress", data_file, "--k", "5", "--blocks", "8"])
+        assert code == 2
+        assert "--blocks only applies" in capsys.readouterr().err
+
+    def test_drift_threshold_requires_a_window_policy(self, data_file, capsys):
+        code = main(["compress", data_file, "--k", "5", "--drift-threshold", "0.3"])
+        assert code == 2
+        assert "requires a window policy" in capsys.readouterr().err
+
+    def test_window_value_validated(self, data_file, capsys):
+        assert main(["compress", data_file, "--k", "5", "--window", "0"]) == 2
+        assert "at least one block" in capsys.readouterr().err
+        assert main(["compress", data_file, "--k", "5", "--decay", "0"]) == 2
+        assert "positive" in capsys.readouterr().err

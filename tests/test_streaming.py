@@ -12,6 +12,7 @@ from repro.streaming import (
     MergeReduceTree,
     StreamKMPlusPlus,
     StreamingCoresetPipeline,
+    block_size_plan,
     iterate_blocks,
 )
 from repro.streaming.merge_reduce import level_pattern, stream_dataset
@@ -51,6 +52,78 @@ class TestDataStream:
     def test_replayable(self, blobs):
         stream = DataStream(points=blobs, block_size=300)
         assert len(list(stream)) == len(list(stream))
+
+
+class TestBlockCountContract:
+    """Regression: ``with_block_count`` must emit exactly what it promises.
+
+    The old ``ceil``-sized uniform split could emit fewer blocks (6 points
+    over 4 blocks gave 3 blocks of 2); the remainder is now spread over the
+    leading blocks instead.
+    """
+
+    @pytest.mark.parametrize("n", [1, 2, 5, 6, 7, 23, 100, 1500])
+    @pytest.mark.parametrize("n_blocks", [1, 2, 3, 4, 7, 10])
+    def test_exact_block_count_over_lattice(self, rng, n, n_blocks):
+        points = rng.normal(size=(n, 3))
+        stream = DataStream.with_block_count(points, n_blocks)
+        blocks = list(stream)
+        assert len(blocks) == min(n, n_blocks)
+        assert stream.n_blocks == len(blocks)
+        sizes = [block.shape[0] for block, _ in blocks]
+        assert sum(sizes) == n
+        assert max(sizes) - min(sizes) <= 1
+        np.testing.assert_array_equal(
+            np.concatenate([block for block, _ in blocks]), points
+        )
+
+    def test_plan_spreads_remainder_over_leading_blocks(self):
+        assert block_size_plan(6, 4) == (2, 2, 1, 1)
+        assert block_size_plan(10, 3) == (4, 3, 3)
+        assert block_size_plan(8, 4) == (2, 2, 2, 2)
+        assert block_size_plan(3, 5) == (1, 1, 1)
+
+    def test_weights_follow_the_plan(self, blobs, rng):
+        weights = rng.uniform(1, 2, size=blobs.shape[0])
+        stream = DataStream.with_block_count(blobs, 7, weights=weights)
+        covered = np.concatenate([block_weights for _, block_weights in stream])
+        np.testing.assert_array_equal(covered, weights)
+
+
+class TestStreamMemoryContracts:
+    """Regression: unshuffled blocks are views; unit weights stay lazy."""
+
+    def test_unshuffled_blocks_are_contiguous_views(self, blobs):
+        for block, _ in iterate_blocks(blobs, 100):
+            assert np.shares_memory(block, blobs)
+            assert block.flags.c_contiguous
+        for block, _ in DataStream.with_block_count(blobs, 7):
+            assert np.shares_memory(block, blobs)
+
+    def test_shuffled_blocks_are_copies(self, blobs):
+        for block, _ in iterate_blocks(blobs, 100, shuffle=True, seed=0):
+            assert not np.shares_memory(block, blobs)
+
+    def test_unit_weight_default_is_lazy(self, blobs):
+        stream = DataStream(points=blobs, block_size=200)
+        # No full-stream np.ones(n) may ever be materialised ...
+        assert stream.weights is None
+        # ... yet every block still carries its own unit-weight vector.
+        for block, block_weights in stream:
+            assert block_weights.shape == (block.shape[0],)
+            np.testing.assert_array_equal(block_weights, 1.0)
+
+    def test_with_block_count_does_not_scan_memmaps(self, tmp_path, blobs):
+        # Routing through _check_stream_points: a construction-time
+        # finiteness scan would page in the whole file.
+        corrupted = blobs.copy()
+        corrupted[123, 1] = np.nan
+        path = tmp_path / "nan_counted.npy"
+        np.save(path, corrupted)
+        mapped = np.load(str(path), mmap_mode="r")
+        stream = DataStream.with_block_count(mapped, 5)  # must not raise
+        assert stream.n_blocks == 5
+        assert any(np.isnan(block).any() for block, _ in stream)
 
 
 class TestDataStreamFromNpy:
