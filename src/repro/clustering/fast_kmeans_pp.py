@@ -26,7 +26,12 @@ Execution notes
 The hot loop is vectorized around the quadtree's CSR cell storage
 (:mod:`repro.geometry.quadtree`): every ``register_center`` update reads one
 contiguous member slice per level and applies a masked minimum, and the
-per-tree level-to-distance mapping is a precomputed table lookup.  The
+per-tree level-to-distance mapping is a precomputed table lookup.  When the
+compiled tier is enabled the whole per-level sweep dispatches to the fused
+``fkpp_level_score`` kernel (:mod:`repro.native`), which performs the same
+gather/compare/scatter in one pass — bit-identical stores, so draws,
+assignments, and downstream coresets are unchanged between dispatch modes
+(``REPRO_NATIVE=0`` keeps the inline numpy sweep).  The
 spread estimate is computed once per fit and shared by every tree (or passed
 in by the caller, e.g. :class:`repro.core.fast_coreset.FastCoreset` reusing
 its spread-reduction diagnostic).
@@ -54,9 +59,9 @@ import numpy as np
 from repro import observability as _obs
 from repro.clustering.cost import ClusteringSolution, cost_to_assigned_centers
 from repro.geometry.quadtree import QuadtreeEmbedding, compute_spread
+from repro.native import get_kernel
 from repro.utils.rng import SeedLike, as_generator, weighted_index_draw
 from repro.utils.validation import check_integer, check_points, check_power, check_weights
-
 
 @dataclass
 class FastKMeansPlusPlus:
@@ -147,9 +152,69 @@ class FastKMeansPlusPlus:
         center_indices = np.empty(self.k, dtype=np.int64)
         # D²-sampling mass, kept in lockstep with ``best_distance`` (the
         # invariant mass[i] == weights[i] * best_distance[i] ** z holds after
-        # every ``register_center`` once the first center is placed).
+        # every ``register_center`` once the first center is placed).  The
+        # backing store is preallocated so the bound kernel sweeps below can
+        # capture its pointer before the first center exists; ``mass`` stays
+        # ``None`` until then and the kernel never reads the store while
+        # ``has_mass`` is false.
         mass: Optional[np.ndarray] = None
+        mass_values = np.empty(n, dtype=np.float64)
         z = self.z
+        # Compiled-tier sweep closures: one fused kernel call per
+        # (tree, center) replaces the per-level numpy sweeps.  The
+        # provider's ``bind`` wraps the tree's own per-level CSR arrays
+        # (no concatenated copies) and the kernel resolves the center's
+        # cell at every level itself, so the per-center Python cost is a
+        # single four-scalar call.  The per-level ``candidate ** z`` table
+        # is raised element by element on the same np.float64 scalars the
+        # numpy sweep raises, so the kernel's mass stores are the
+        # identical doubles in either dispatch mode.
+        level_kernel = get_kernel("fkpp_level_score")
+        sweeps = {"native": 0, "numpy": 0}
+        tree_sweeps = []
+        binder = getattr(level_kernel, "bind", None) if level_kernel is not None else None
+        if binder is not None:
+            kernel_weights = np.ascontiguousarray(weights)
+            for tree, distances in zip(self.trees_, level_distances):
+                table = np.ascontiguousarray(distances, dtype=np.float64)
+                czs = np.array(
+                    [np.float64(v) ** self.z for v in distances],
+                    dtype=np.float64,
+                )
+                tree_sweeps.append(
+                    binder(
+                        [np.ascontiguousarray(a, dtype=np.int64) for a in tree.level_order_],
+                        [np.ascontiguousarray(a, dtype=np.int64) for a in tree.level_offsets_],
+                        [np.ascontiguousarray(a, dtype=np.int64) for a in tree.level_cell_ids_],
+                        n, table, czs, best_distance, assignment,
+                        mass_values, kernel_weights,
+                    )
+                )
+        # Compiled-tier D²-sampling draw over the preallocated mass store:
+        # the kernel replays the numpy path's two observable steps — the
+        # sequential cumsum total, then (only once the total proves finite
+        # and positive, so the RNG stream advances exactly like the
+        # fallback's) the first-prefix-above-u scan, which equals
+        # ``searchsorted(cumsum, u, side="right")`` because D² mass is
+        # non-negative.  Every partial sum is the same IEEE add chain, so
+        # the drawn index is bit-identical in either dispatch mode.
+        draw_total = draw_scan = None
+        draw_kernel = get_kernel("fkpp_weighted_draw")
+        draw_binder = getattr(draw_kernel, "bind", None) if draw_kernel is not None else None
+        if draw_binder is not None:
+            draw_total, draw_scan = draw_binder(mass_values)
+        draws = {"native": 0, "numpy": 0}
+
+        def draw_mass_index() -> int:
+            """One D² draw from ``mass`` (== ``weighted_index_draw``)."""
+            if draw_total is not None:
+                draws["native"] += 1
+                total = draw_total()
+                if not np.isfinite(total) or total <= 0.0:
+                    return -1
+                return min(draw_scan(generator.random() * total), n - 1)
+            draws["numpy"] += 1
+            return weighted_index_draw(generator, mass)
 
         def register_center(center_slot: int, center_point: int) -> None:
             """Shrink per-point distances given the newly selected center.
@@ -160,24 +225,34 @@ class FastKMeansPlusPlus:
             is what keeps the total update work bounded.  Improved entries
             have their sampling mass rewritten in place — never the full
             array — so the per-center cost is proportional to the number of
-            points that actually moved, not to ``n``.
+            points that actually moved, not to ``n``.  With the compiled
+            tier enabled the whole per-tree sweep — level loop, ceiling
+            break, gather/compare/scatter — runs as one fused kernel call
+            on the precomputed sweep plan.
             """
             ceiling = float(best_distance.max())
-            for tree, distances, cell_ids in zip(self.trees_, level_distances, level_cell_ids):
-                for level in range(tree.depth - 1, -1, -1):
-                    candidate = distances[level + 1]
-                    if candidate >= ceiling and np.isfinite(ceiling):
-                        break
-                    members = tree.points_in_cell(level, cell_ids[level][center_point])
-                    if members.size == 0:
-                        continue
-                    improved = members[best_distance[members] > candidate]
-                    if improved.size == 0:
-                        continue
-                    best_distance[improved] = candidate
-                    assignment[improved] = center_slot
-                    if mass is not None:
-                        mass[improved] = weights[improved] * candidate**z
+            if tree_sweeps:
+                has_mass = mass is not None
+                for sweep in tree_sweeps:
+                    sweeps["native"] += 1
+                    sweep(ceiling, center_slot, center_point, has_mass)
+            else:
+                for tree, distances, cell_ids in zip(self.trees_, level_distances, level_cell_ids):
+                    for level in range(tree.depth - 1, -1, -1):
+                        candidate = distances[level + 1]
+                        if candidate >= ceiling and np.isfinite(ceiling):
+                            break
+                        members = tree.points_in_cell(level, cell_ids[level][center_point])
+                        if members.size == 0:
+                            continue
+                        sweeps["numpy"] += 1
+                        improved = members[best_distance[members] > candidate]
+                        if improved.size == 0:
+                            continue
+                        best_distance[improved] = candidate
+                        assignment[improved] = center_slot
+                        if mass is not None:
+                            mass[improved] = weights[improved] * candidate**z
             # Points beyond every center's cells at every level fall back to
             # the root distance of the first tree (covers the first center).
             unassigned = assignment < 0
@@ -195,16 +270,27 @@ class FastKMeansPlusPlus:
             center_indices[0] = first
             with _obs.span("fastkpp.round", slot=0):
                 register_center(0, first)
-            mass = weights * best_distance**z
+            np.multiply(weights, best_distance**z, out=mass_values)
+            mass = mass_values
 
             for slot in range(1, self.k):
-                chosen = weighted_index_draw(generator, mass)
+                chosen = draw_mass_index()
                 if chosen < 0:
                     chosen = int(generator.integers(0, n))
                 center_indices[slot] = chosen
                 with _obs.span("fastkpp.round", slot=slot):
                     register_center(slot, chosen)
             _obs.counter_add("fastkpp.rounds", float(self.k))
+            # Per-kernel dispatch attribution for --trace/--metrics: how
+            # many level sweeps the compiled kernel absorbed this fit.
+            if sweeps["native"]:
+                _obs.counter_add("fastkpp.level_score.native", float(sweeps["native"]))
+            if sweeps["numpy"]:
+                _obs.counter_add("fastkpp.level_score.numpy", float(sweeps["numpy"]))
+            if draws["native"]:
+                _obs.counter_add("fastkpp.draw.native", float(draws["native"]))
+            if draws["numpy"]:
+                _obs.counter_add("fastkpp.draw.numpy", float(draws["numpy"]))
 
         self.center_indices_ = center_indices
         self.tree_distances_ = best_distance

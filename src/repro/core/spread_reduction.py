@@ -34,13 +34,16 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro import observability as _obs
 from repro.geometry.distances import diameter_upper_bound
 from repro.geometry.grid import (
+    _hash_multipliers,
     assign_to_grid,
     count_distinct_cells,
     hash_rows,
     random_grid_shift,
 )
+from repro.native import get_kernel
 from repro.geometry.quadtree import compute_spread
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_integer, check_points, check_power
@@ -139,31 +142,65 @@ def crude_cost_upper_bound(
     # lattices are bit-identical to the direct computation).  Consecutive
     # probes — the tail of the bisection — reuse the quadtree's multiply-add
     # doubling (``lattice' = 2 * lattice + bit``), which is exact as well.
+    # The compiled tier fuses the whole probe (lattice refresh + hash +
+    # distinct count) into ``crude_bound_probe``; the count is the only
+    # observable, and it is pinned identical in both dispatch modes.
     scaled = (points - shift[None, :]) / diameter
     probe_state: Dict[str, object] = {"level": None}
+    probe_kernel = get_kernel("crude_bound_probe")
+    probe_tally = {"native": 0, "numpy": 0}
 
-    def occupied(level: int) -> int:
-        nonlocal calls
-        calls += 1
-        if probe_state["level"] is not None and level == probe_state["level"] + 1:
-            lattice = probe_state["lattice"]
-            frac = probe_state["frac"]
-            bits = frac >= 0.5
-            np.multiply(lattice, 2, out=lattice)
-            lattice += bits
-            np.multiply(frac, 2.0, out=frac)
-            frac -= bits
-        elif level <= 512:  # 2.0**level stays finite with huge margin
-            scaled_level = scaled * (2.0**level)
-            lattice = np.floor(scaled_level).astype(np.int64)
-            frac = scaled_level - lattice
-        else:  # pragma: no cover - astronomically spread inputs
-            side = diameter * (2.0 ** (-level))
-            return count_distinct_cells(points, side, shift)
-        probe_state["level"] = level
-        probe_state["lattice"] = lattice
-        probe_state["frac"] = frac
-        return int(np.unique(hash_rows(lattice)).shape[0])
+    if probe_kernel is not None:
+        multipliers = _hash_multipliers(d)
+        kernel_lattice = np.empty((n, d), dtype=np.int64)
+        kernel_frac = np.empty((n, d), dtype=np.float64)
+
+        def occupied(level: int) -> int:
+            nonlocal calls
+            calls += 1
+            if level > 512:  # pragma: no cover - astronomically spread inputs
+                side = diameter * (2.0 ** (-level))
+                return count_distinct_cells(points, side, shift)
+            fresh = probe_state["level"] is None or level != probe_state["level"] + 1
+            probe_tally["native"] += 1
+            count = int(
+                probe_kernel(scaled, level, fresh, kernel_lattice, kernel_frac, multipliers)
+            )
+            probe_state["level"] = level
+            return count
+
+    else:
+
+        def occupied(level: int) -> int:
+            nonlocal calls
+            calls += 1
+            if probe_state["level"] is not None and level == probe_state["level"] + 1:
+                lattice = probe_state["lattice"]
+                frac = probe_state["frac"]
+                bits = frac >= 0.5
+                np.multiply(lattice, 2, out=lattice)
+                lattice += bits
+                np.multiply(frac, 2.0, out=frac)
+                frac -= bits
+            elif level <= 512:  # 2.0**level stays finite with huge margin
+                scaled_level = scaled * (2.0**level)
+                lattice = np.floor(scaled_level).astype(np.int64)
+                frac = scaled_level - lattice
+            else:  # pragma: no cover - astronomically spread inputs
+                side = diameter * (2.0 ** (-level))
+                return count_distinct_cells(points, side, shift)
+            probe_tally["numpy"] += 1
+            probe_state["level"] = level
+            probe_state["lattice"] = lattice
+            probe_state["frac"] = frac
+            return int(np.unique(hash_rows(lattice)).shape[0])
+
+    def _emit_probe_counters() -> None:
+        # Per-kernel dispatch attribution for --trace/--metrics.
+        if probe_tally["native"]:
+            _obs.counter_add("crude_bound.probes.native", float(probe_tally["native"]))
+        if probe_tally["numpy"]:
+            _obs.counter_add("crude_bound.probes.numpy", float(probe_tally["numpy"]))
 
     # Binary search for the smallest level with at least k + 1 occupied cells.
     low, high = 0, max_level
@@ -172,6 +209,7 @@ def crude_cost_upper_bound(
         # points); the optimum is within a cell diameter of zero.
         side = diameter * (2.0 ** (-high))
         upper = n * math.sqrt(d) * 8.0 * side
+        _emit_probe_counters()
         return CrudeApproximation(
             upper_bound=max(upper, 1e-12),
             level=high,
@@ -190,6 +228,7 @@ def crude_cost_upper_bound(
     level = low
     side = diameter * (2.0 ** (-level))
     upper_bound = n * math.sqrt(d) * 8.0 * side
+    _emit_probe_counters()
     return CrudeApproximation(
         upper_bound=float(upper_bound),
         level=level,

@@ -21,6 +21,10 @@ from repro.native.kernels import (
     kernel_provider,
     radix_argsort,
     reference_candidate_eval,
+    reference_crude_bound_probe,
+    reference_fkpp_draw_scan,
+    reference_fkpp_level_score,
+    reference_fkpp_weighted_draw,
 )
 from repro.native.registry import (
     ENV_FLAG,
@@ -38,6 +42,10 @@ __all__ = [
     "native_status",
     "radix_argsort",
     "reference_candidate_eval",
+    "reference_crude_bound_probe",
+    "reference_fkpp_draw_scan",
+    "reference_fkpp_level_score",
+    "reference_fkpp_weighted_draw",
     "refresh",
     "use_native",
 ]

@@ -443,6 +443,232 @@ int64_t repro_lloyd_candidate_eval(const double *points, const double *centers,
     return 0;
 }
 
+/* ----------------------------------------------------------- fast-kmeans++ */
+
+/* One cell of a Fast-kmeans++ register-center sweep: for every member
+ * whose best distance strictly exceeds the candidate, store the candidate,
+ * the center slot, and (once the first center's mass vector exists) the
+ * mass weights[i] * cz.  `cz` is the caller's precomputed candidate**z --
+ * the same double the numpy sweep multiplies by -- so every stored value
+ * is bit-identical to the fancy-indexed numpy path (pure per-element
+ * gather/compare/scatter; no accumulation, hence no ordering hazard).  The
+ * gathers are latency-bound random accesses, so upcoming best-distance
+ * entries are software-prefetched.  Returns the improved-point count. */
+static int64_t repro__fkpp_sweep_cell(const int64_t *row, int64_t start,
+                                      int64_t end, double candidate,
+                                      double cz, int64_t center_slot,
+                                      double *best_distance,
+                                      int64_t *assignment, double *mass,
+                                      const double *weights, int has_mass)
+{
+    int64_t idx;
+    int64_t improved = 0;
+    if (has_mass) {
+        for (idx = start; idx < end; ++idx) {
+            const int64_t i = row[idx];
+            if (idx + 16 < end)
+                __builtin_prefetch(&best_distance[row[idx + 16]], 0, 1);
+            if (best_distance[i] > candidate) {
+                best_distance[i] = candidate;
+                assignment[i] = center_slot;
+                mass[i] = weights[i] * cz;
+                ++improved;
+            }
+        }
+    } else {
+        for (idx = start; idx < end; ++idx) {
+            const int64_t i = row[idx];
+            if (idx + 16 < end)
+                __builtin_prefetch(&best_distance[row[idx + 16]], 0, 1);
+            if (best_distance[i] > candidate) {
+                best_distance[i] = candidate;
+                assignment[i] = center_slot;
+                ++improved;
+            }
+        }
+    }
+    return improved;
+}
+
+/* One Fast-kmeans++ register-center sweep over every level of one tree.
+ *
+ * `order` holds the tree's per-level CSR orders concatenated (level l is
+ * row l of a (depth, n) layout); starts/ends delimit the new center's cell
+ * within each row; distances/czs are the per-level candidate distance and
+ * the caller's precomputed candidate**z (indexed at level + 1, matching
+ * the level-distance table).  Levels are scanned deepest first and the
+ * scan breaks once the candidate reaches the ceiling (tree distances only
+ * grow toward the root) -- the exact control flow of the numpy sweep. */
+int64_t repro_fkpp_level_score(const int64_t *order, int64_t n,
+                               const int64_t *starts, const int64_t *ends,
+                               const double *distances, const double *czs,
+                               int64_t depth, double ceiling,
+                               int64_t center_slot, double *best_distance,
+                               int64_t *assignment, double *mass,
+                               const double *weights, int has_mass)
+{
+    int64_t level;
+    int64_t improved = 0;
+    for (level = depth - 1; level >= 0; --level) {
+        const double candidate = distances[level + 1];
+        if (candidate >= ceiling && isfinite(ceiling))
+            break;
+        improved += repro__fkpp_sweep_cell(
+            order + level * n, starts[level], ends[level], candidate,
+            czs[level + 1], center_slot, best_distance, assignment, mass,
+            weights, has_mass);
+    }
+    return improved;
+}
+
+/* The pointer-table form of the sweep, driven directly off the quadtree's
+ * per-level CSR arrays: order_ptrs/offset_ptrs/cell_ptrs hold one pointer
+ * per level (as uint64) into the tree's own level_order_/level_offsets_/
+ * level_cell_ids_ arrays, so the sweep needs no concatenated copies and
+ * the center's cell lookup (cid = cells[center_point], bounds =
+ * offsets[cid], offsets[cid+1]) happens here instead of in numpy once per
+ * (tree, center).  Same level walk, ceiling break, and per-cell stores as
+ * repro_fkpp_level_score -- the two share repro__fkpp_sweep_cell. */
+int64_t repro_fkpp_center_sweep(const uint64_t *order_ptrs,
+                                const uint64_t *offset_ptrs,
+                                const uint64_t *cell_ptrs, int64_t depth,
+                                int64_t center_point, const double *distances,
+                                const double *czs, double ceiling,
+                                int64_t center_slot, double *best_distance,
+                                int64_t *assignment, double *mass,
+                                const double *weights, int has_mass)
+{
+    int64_t level;
+    int64_t improved = 0;
+    for (level = depth - 1; level >= 0; --level) {
+        const double candidate = distances[level + 1];
+        if (candidate >= ceiling && isfinite(ceiling))
+            break;
+        {
+            const int64_t *cells =
+                (const int64_t *)(uintptr_t)cell_ptrs[level];
+            const int64_t *offsets =
+                (const int64_t *)(uintptr_t)offset_ptrs[level];
+            const int64_t *row =
+                (const int64_t *)(uintptr_t)order_ptrs[level];
+            const int64_t cid = cells[center_point];
+            improved += repro__fkpp_sweep_cell(
+                row, offsets[cid], offsets[cid + 1], candidate,
+                czs[level + 1], center_slot, best_distance, assignment,
+                mass, weights, has_mass);
+        }
+    }
+    return improved;
+}
+
+/* The D^2-sampling draw, split into the same two observable steps as the
+ * numpy path (cumsum -> validity check -> searchsorted): a sequential
+ * prefix total and a first-exceed scan.  Both walk the mass array in the
+ * exact left-to-right IEEE order of np.cumsum, so every partial sum is the
+ * same double as the corresponding cumsum entry; the scan then returns the
+ * first index whose prefix exceeds u, which for non-negative mass (the
+ * caller's precondition -- prefixes are non-decreasing) is precisely
+ * np.searchsorted(cumsum, u, side="right").  Two calls, not one, because
+ * the uniform variate is drawn only after the total proves finite and
+ * positive -- consuming the RNG stream identically to the fallback. */
+double repro_fkpp_seq_total(const double *mass, int64_t n)
+{
+    double acc = 0.0;
+    int64_t i;
+    for (i = 0; i < n; ++i)
+        acc += mass[i];
+    return acc;
+}
+
+int64_t repro_fkpp_draw_scan(const double *mass, int64_t n, double u)
+{
+    double acc = 0.0;
+    int64_t i;
+    for (i = 0; i < n; ++i) {
+        acc += mass[i];
+        if (acc > u)
+            return i;
+    }
+    return n;
+}
+
+/* ------------------------------------------------------------ crude-approx */
+
+/* One Crude-Approx (Algorithm 2) occupancy probe: refresh the dyadic
+ * lattice in place, then count the distinct multilinear row hashes.
+ *
+ * Fresh levels floor scaled * 2^level (ldexp is exact, and scaling by a
+ * power of two commutes with IEEE rounding, so lattice/frac match the
+ * numpy floor/subtract pair bit for bit); consecutive levels -- the tail
+ * of the bisection -- apply the quadtree's multiply-add doubling
+ * (lattice' = 2*lattice + bit, frac' = 2*frac - bit), every step of which
+ * is exact.  Lattice doubling is computed in uint64 so it wraps mod 2^64
+ * exactly like the numpy int64 ops instead of tripping signed-overflow UB.
+ *
+ * The hash is the numpy path's uint64 view: sum of lattice[i][j] *
+ * multipliers[j] with wrapping multiplies.  Distinct counting uses a
+ * linear-probing table (golden-ratio multiplicative hash on the high bits,
+ * table_size a power of two >= 2n so load stays under 50%); every uint64
+ * key value is valid, so occupancy lives in a separate byte array.  The
+ * count equals np.unique(...).shape[0] -- distinctness is order-invariant,
+ * which is all the binary search observes. */
+int64_t repro_crude_bound_probe(const double *scaled, int64_t n, int64_t d,
+                                int64_t level, int fresh, int64_t *lattice,
+                                double *frac, const uint64_t *multipliers,
+                                uint64_t *table_keys, uint8_t *table_used,
+                                int64_t table_size)
+{
+    const int64_t total = n * d;
+    const uint64_t mask = (uint64_t)(table_size - 1);
+    int shift = 64;
+    int64_t i, j;
+    int64_t count = 0;
+    if (fresh) {
+        const double scale = ldexp(1.0, (int)level);
+        for (i = 0; i < total; ++i) {
+            const double s = scaled[i] * scale;
+            const double fl = floor(s);
+            lattice[i] = (int64_t)fl;
+            frac[i] = s - fl;
+        }
+    } else {
+        for (i = 0; i < total; ++i) {
+            const int bit = frac[i] >= 0.5;
+            lattice[i] =
+                (int64_t)(((uint64_t)lattice[i] << 1) + (uint64_t)bit);
+            frac[i] = 2.0 * frac[i] - (double)bit;
+        }
+    }
+    {
+        int64_t t = table_size;
+        while (t > 1) {
+            t >>= 1;
+            --shift;
+        }
+    }
+    memset(table_used, 0, (size_t)table_size);
+    for (i = 0; i < n; ++i) {
+        const int64_t *row = lattice + i * d;
+        uint64_t key = 0;
+        uint64_t slot;
+        for (j = 0; j < d; ++j)
+            key += (uint64_t)row[j] * multipliers[j];
+        slot = (key * UINT64_C(0x9E3779B97F4A7C15)) >> shift;
+        for (;;) {
+            if (!table_used[slot]) {
+                table_used[slot] = 1;
+                table_keys[slot] = key;
+                ++count;
+                break;
+            }
+            if (table_keys[slot] == key)
+                break;
+            slot = (slot + 1) & mask;
+        }
+    }
+    return count;
+}
+
 /* The M-step accumulation: per-cluster weight totals and weighted
  * coordinate sums, visiting points in ascending index order -- the exact
  * accumulation order of np.bincount over flat (cluster, coordinate) codes,
@@ -513,6 +739,12 @@ def _build_library() -> Path:
                 compiler,
                 "-O3",
                 "-ffp-contract=off",  # the bit-identity contract: no FMA fusion
+                # Pin hot-loop alignment so adding kernels to the source
+                # can't shift the code layout of every later function
+                # between builds (keeps benchmark trajectories comparable
+                # across otherwise-unrelated kernel additions).
+                "-falign-functions=64",
+                "-falign-loops=32",
                 "-shared",
                 "-fPIC",
                 "-o",
@@ -564,9 +796,11 @@ def load_kernels() -> Dict[str, Callable]:
 
     i64 = ctypes.c_int64
     f64 = ctypes.c_double
+    i32 = ctypes.c_int
     pi64 = ndpointer(np.int64, flags="C_CONTIGUOUS")
     pu64 = ndpointer(np.uint64, flags="C_CONTIGUOUS")
     pf64 = ndpointer(np.float64, flags="C_CONTIGUOUS")
+    pu8 = ndpointer(np.uint8, flags="C_CONTIGUOUS")
 
     radix = library.repro_radix_argsort_u64
     radix.restype = None
@@ -591,6 +825,46 @@ def load_kernels() -> Dict[str, Callable]:
     sums_kernel = library.repro_lloyd_update_sums
     sums_kernel.restype = None
     sums_kernel.argtypes = [pf64, pf64, pi64, i64, i64, i64, pf64, pf64]
+
+    level_score = library.repro_fkpp_level_score
+    level_score.restype = i64
+    level_score.argtypes = [
+        pi64, i64, pi64, pi64, pf64, pf64, i64, f64, i64, pf64, pi64, pf64, pf64, i32,
+    ]
+
+    # The pointer-table sweep is bound with raw-pointer argtypes only:
+    # ctypes ndpointer validation costs ~3 µs per array argument, which at
+    # one call per (tree, center) would eat the kernel's win, and this
+    # symbol is reached exclusively through ``_fkpp_bind`` below, which
+    # validates and pins every array once per fit.
+    center_sweep = library.repro_fkpp_center_sweep
+    center_sweep.restype = i64
+    center_sweep.argtypes = [
+        ctypes.c_void_p, ctypes.c_void_p, ctypes.c_void_p, i64, i64,
+        ctypes.c_void_p, ctypes.c_void_p, f64, i64, ctypes.c_void_p,
+        ctypes.c_void_p, ctypes.c_void_p, ctypes.c_void_p, i32,
+    ]
+
+    seq_total = library.repro_fkpp_seq_total
+    seq_total.restype = f64
+    seq_total.argtypes = [pf64, i64]
+
+    draw_scan = library.repro_fkpp_draw_scan
+    draw_scan.restype = i64
+    draw_scan.argtypes = [pf64, i64, f64]
+
+    # Raw-pointer twins for the per-draw fast path (see ``_fkpp_bind`` for
+    # why ndpointer validation is too slow at one call per draw).
+    seq_total_fast = library["repro_fkpp_seq_total"]
+    seq_total_fast.restype = f64
+    seq_total_fast.argtypes = [ctypes.c_void_p, i64]
+    draw_scan_fast = library["repro_fkpp_draw_scan"]
+    draw_scan_fast.restype = i64
+    draw_scan_fast.argtypes = [ctypes.c_void_p, i64, f64]
+
+    probe = library.repro_crude_bound_probe
+    probe.restype = i64
+    probe.argtypes = [pf64, i64, i64, i64, i32, pi64, pf64, pu64, pu64, pu8, i64]
 
     def radix_argsort_u64(keys: np.ndarray) -> np.ndarray:
         n = keys.shape[0]
@@ -710,12 +984,173 @@ def load_kernels() -> Dict[str, Callable]:
         sums_kernel(weighted, weights, assignment, n, d, k, counts, sums.reshape(-1))
         return counts, sums
 
+    def fkpp_level_score(
+        order: np.ndarray,
+        n: int,
+        starts: np.ndarray,
+        ends: np.ndarray,
+        distances: np.ndarray,
+        czs: np.ndarray,
+        ceiling: float,
+        center_slot: int,
+        best_distance: np.ndarray,
+        assignment: np.ndarray,
+        mass: np.ndarray,
+        weights: np.ndarray,
+        has_mass: bool,
+    ) -> int:
+        depth = starts.shape[0]
+        if depth == 0:
+            return 0
+        return int(
+            level_score(
+                order,
+                int(n),
+                starts,
+                ends,
+                distances,
+                czs,
+                depth,
+                float(ceiling),
+                int(center_slot),
+                best_distance,
+                assignment,
+                mass,
+                weights,
+                1 if has_mass else 0,
+            )
+        )
+
+    def _fkpp_bind(
+        level_orders,
+        level_offsets,
+        level_cells,
+        n: int,
+        distances: np.ndarray,
+        czs: np.ndarray,
+        best_distance: np.ndarray,
+        assignment: np.ndarray,
+        mass: np.ndarray,
+        weights: np.ndarray,
+    ) -> Callable:
+        """Build a fit-lifetime sweep closure over one tree's CSR arrays.
+
+        ``level_orders``/``level_offsets``/``level_cells`` are the tree's own
+        per-level arrays (``level_order_``/``level_offsets_``/
+        ``level_cell_ids_``); their data pointers are packed into uint64
+        tables once, so the per-center call carries only four scalars.  The
+        kernel itself locates the center's cell at every level — no
+        concatenated copies of the tree and no per-center numpy indexing.
+        Pinning every pointer up front drops the per-call ctypes cost from
+        ~34 µs (ndpointer validation of seven array arguments) to ~2 µs —
+        the difference between the kernel beating the numpy sweep and
+        losing to it at one call per (tree, center).  The caller owns all
+        arrays for the lifetime of the closure.
+        """
+        for sequence in (level_orders, level_offsets, level_cells):
+            for array in sequence:
+                if array.dtype != np.int64 or not array.flags["C_CONTIGUOUS"]:
+                    raise ValueError("fkpp tree arrays must be contiguous int64")
+        for array in (distances, czs, best_distance, mass, weights):
+            if array.dtype != np.float64 or not array.flags["C_CONTIGUOUS"]:
+                raise ValueError("fkpp sweep arrays must be contiguous float64")
+        if assignment.dtype != np.int64 or not assignment.flags["C_CONTIGUOUS"]:
+            raise ValueError("fkpp assignment must be contiguous int64")
+        depth = len(level_orders)
+        order_ptrs = np.array([a.ctypes.data for a in level_orders], dtype=np.uint64)
+        offset_ptrs = np.array([a.ctypes.data for a in level_offsets], dtype=np.uint64)
+        cell_ptrs = np.array([a.ctypes.data for a in level_cells], dtype=np.uint64)
+        keep = (
+            tuple(level_orders), tuple(level_offsets), tuple(level_cells),
+            order_ptrs, offset_ptrs, cell_ptrs,
+            distances, czs, best_distance, assignment, mass, weights,
+        )
+        p_orders = order_ptrs.ctypes.data
+        p_offsets = offset_ptrs.ctypes.data
+        p_cells = cell_ptrs.ctypes.data
+        p_distances = distances.ctypes.data
+        p_czs = czs.ctypes.data
+        p_best = best_distance.ctypes.data
+        p_assignment = assignment.ctypes.data
+        p_mass = mass.ctypes.data
+        p_weights = weights.ctypes.data
+
+        def sweep(
+            ceiling: float, center_slot: int, center_point: int, has_mass: bool, _keep=keep
+        ) -> int:
+            return center_sweep(
+                p_orders, p_offsets, p_cells, depth, center_point,
+                p_distances, p_czs, ceiling, center_slot, p_best,
+                p_assignment, p_mass, p_weights, 1 if has_mass else 0,
+            )
+
+        return sweep
+
+    fkpp_level_score.bind = _fkpp_bind
+
+    def fkpp_weighted_draw(mass: np.ndarray) -> float:
+        """Sequential prefix total of ``mass`` (== ``np.cumsum(mass)[-1]``)."""
+        return float(seq_total(mass, mass.shape[0]))
+
+    def _draw_scan(mass: np.ndarray, u: float) -> int:
+        return int(draw_scan(mass, mass.shape[0], float(u)))
+
+    def _draw_bind(mass: np.ndarray):
+        """Pin the mass pointer once; per-draw calls carry only scalars."""
+        if mass.dtype != np.float64 or not mass.flags["C_CONTIGUOUS"]:
+            raise ValueError("draw mass must be contiguous float64")
+        n = int(mass.shape[0])
+        p_mass = mass.ctypes.data
+
+        def total(_keep=mass) -> float:
+            return seq_total_fast(p_mass, n)
+
+        def scan(u: float, _keep=mass) -> int:
+            return draw_scan_fast(p_mass, n, u)
+
+        return total, scan
+
+    fkpp_weighted_draw.scan = _draw_scan
+    fkpp_weighted_draw.bind = _draw_bind
+
+    def crude_bound_probe(
+        scaled: np.ndarray,
+        level: int,
+        fresh: bool,
+        lattice: np.ndarray,
+        frac: np.ndarray,
+        multipliers: np.ndarray,
+    ) -> int:
+        n, d = scaled.shape
+        if n == 0:
+            return 0
+        # Power-of-two table at or above max(64, 2n): load stays under 50%.
+        table_size = 1 << max(64, 2 * n).bit_length()
+        return int(
+            probe(
+                scaled,
+                n,
+                d,
+                int(level),
+                1 if fresh else 0,
+                lattice,
+                frac,
+                multipliers,
+                _scratch("crude_keys", table_size, np.uint64),
+                _scratch("crude_used", table_size, np.uint8),
+                table_size,
+            )
+        )
+
     return {
         "radix_argsort": radix_argsort_u64,
         "csr_group": csr_group_u64,
         "lloyd_refresh_bounds": lloyd_refresh_bounds,
         "lloyd_candidate_eval": lloyd_candidate_eval,
         "lloyd_update_sums": lloyd_update_sums,
+        "fkpp_level_score": fkpp_level_score,
+        "fkpp_weighted_draw": fkpp_weighted_draw,
+        "crude_bound_probe": crude_bound_probe,
     }
 
 

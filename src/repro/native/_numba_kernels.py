@@ -19,6 +19,7 @@ small.)
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
@@ -241,6 +242,111 @@ def _lloyd_candidate_eval(
 
 
 @njit(cache=False)
+def _fkpp_level_score(
+    order,
+    n,
+    starts,
+    ends,
+    distances,
+    czs,
+    ceiling,
+    center_slot,
+    best_distance,
+    assignment,
+    mass,
+    weights,
+    has_mass,
+):  # pragma: no cover - exercised via dispatch
+    """One Fast-kmeans++ register-center sweep over every level of one tree,
+    deepest first: the scan breaks as soon as the level's candidate distance
+    reaches the ceiling (it only grows toward the root), and for every
+    member of the new center's cell whose best distance strictly exceeds
+    the candidate it scatters the candidate, the center slot, and the
+    rewritten sampling mass ``weights[i] * czs[level + 1]`` (the caller
+    precomputes ``candidate ** z`` per level with the same scalar power the
+    numpy sweep raises, so every stored double is bit-identical).  ``order``
+    holds the tree's per-level CSR orders concatenated (level ``l`` is row
+    ``l`` of a ``(depth, n)`` layout); ``starts``/``ends`` delimit the
+    center's cell within each row.  Returns the improved-point count."""
+    depth = starts.shape[0]
+    improved = 0
+    for level in range(depth - 1, -1, -1):
+        candidate = distances[level + 1]
+        if candidate >= ceiling and np.isfinite(ceiling):
+            break
+        cz = czs[level + 1]
+        base = level * n
+        for idx in range(starts[level], ends[level]):
+            i = order[base + idx]
+            if best_distance[i] > candidate:
+                best_distance[i] = candidate
+                assignment[i] = center_slot
+                if has_mass:
+                    mass[i] = weights[i] * cz
+                improved += 1
+    return improved
+
+
+@njit(cache=False)
+def _crude_bound_probe(
+    scaled, level, fresh, lattice, frac, multipliers
+):  # pragma: no cover - exercised via dispatch
+    """One Crude-Approx occupancy probe: refresh the dyadic lattice (fresh
+    levels floor ``scaled * 2**level``; consecutive levels apply the exact
+    multiply-add doubling) and count the distinct multilinear row hashes
+    with an open-addressing table.  All lattice and hash arithmetic wraps
+    mod ``2^64`` exactly like the numpy path's uint64 view."""
+    n, d = scaled.shape
+    if fresh:
+        # math.ldexp is exact; the numpy path's ``2.0 ** level`` scalar is
+        # the same power-of-two double for every level the caller admits.
+        scale = math.ldexp(1.0, level)
+        for i in range(n):
+            for j in range(d):
+                s = scaled[i, j] * scale
+                fl = np.floor(s)
+                lattice[i, j] = np.int64(fl)
+                frac[i, j] = s - fl
+    else:
+        for i in range(n):
+            for j in range(d):
+                if frac[i, j] >= 0.5:
+                    lattice[i, j] = 2 * lattice[i, j] + 1
+                    frac[i, j] = 2.0 * frac[i, j] - 1.0
+                else:
+                    lattice[i, j] = 2 * lattice[i, j]
+                    frac[i, j] = 2.0 * frac[i, j]
+    target = 2 * n
+    if target < 64:
+        target = 64
+    table_size = 1
+    shift = 64
+    while table_size < target:
+        table_size <<= 1
+        shift -= 1
+    mask = np.uint64(table_size - 1)
+    golden = np.uint64(0x9E3779B97F4A7C15)
+    used = np.zeros(table_size, dtype=np.uint8)
+    table_keys = np.empty(table_size, dtype=np.uint64)
+    count = 0
+    for i in range(n):
+        key = np.uint64(0)
+        for j in range(d):
+            key += np.uint64(lattice[i, j]) * multipliers[j]
+        slot = np.int64((key * golden) >> np.uint64(shift))
+        while True:
+            if used[slot] == 0:
+                used[slot] = 1
+                table_keys[slot] = key
+                count += 1
+                break
+            if table_keys[slot] == key:
+                break
+            slot = np.int64((np.uint64(slot) + np.uint64(1)) & mask)
+    return count
+
+
+@njit(cache=False)
 def _lloyd_update_sums(
     weighted, weights, assignment, k
 ):  # pragma: no cover - exercised via dispatch
@@ -282,6 +388,99 @@ def _candidate_eval(
     return result, second_sq
 
 
+def _fkpp_entry(
+    order, n, starts, ends, distances, czs, ceiling, center_slot,
+    best_distance, assignment, mass, weights, has_mass,
+):
+    """Verifier-facing passthrough to the njit sweep (see ``_fkpp_bind``)."""
+    return _fkpp_level_score(
+        order, n, starts, ends, distances, czs, ceiling, center_slot,
+        best_distance, assignment, mass, weights, has_mass,
+    )
+
+
+def _fkpp_bind(
+    level_orders, level_offsets, level_cells, n, distances, czs,
+    best_distance, assignment, mass, weights,
+) -> Callable:
+    """Fit-lifetime sweep closure over one tree's CSR arrays.
+
+    Mirrors the ``cc`` provider's ``bind`` contract — the call site drives
+    both providers identically: ``sweep(ceiling, center_slot, center_point,
+    has_mass)`` once per (tree, center), with the center's per-level cell
+    bounds resolved inside the closure.  The njit sweep takes the flat
+    (depth, n) order layout, so the tree's per-level orders are concatenated
+    once here; that copy is per fit, not per center.
+    """
+    depth = len(level_orders)
+    if depth:
+        order_flat = np.concatenate(level_orders)
+    else:
+        order_flat = np.empty(0, dtype=np.int64)
+    starts = np.empty(depth, dtype=np.int64)
+    ends = np.empty(depth, dtype=np.int64)
+
+    def sweep(ceiling: float, center_slot: int, center_point: int, has_mass: bool) -> int:
+        for level in range(depth):
+            cid = level_cells[level][center_point]
+            starts[level] = level_offsets[level][cid]
+            ends[level] = level_offsets[level][cid + 1]
+        return _fkpp_level_score(
+            order_flat, n, starts, ends, distances, czs, ceiling, center_slot,
+            best_distance, assignment, mass, weights, has_mass,
+        )
+
+    return sweep
+
+
+_fkpp_entry.bind = _fkpp_bind
+
+
+@numba.njit(cache=False)
+def _fkpp_seq_total(mass):
+    # The exact left-to-right IEEE add chain of np.cumsum(mass)[-1]; no
+    # fastmath, so numba cannot reassociate it.
+    acc = 0.0
+    for i in range(mass.shape[0]):
+        acc += mass[i]
+    return acc
+
+
+@numba.njit(cache=False)
+def _fkpp_draw_scan(mass, u):
+    # First prefix strictly above u == np.searchsorted(cumsum, u, "right")
+    # for non-negative mass (non-decreasing prefixes).
+    acc = 0.0
+    for i in range(mass.shape[0]):
+        acc += mass[i]
+        if acc > u:
+            return i
+    return mass.shape[0]
+
+
+def _fkpp_draw_entry(mass):
+    """Verifier-facing sequential prefix total (see ``_fkpp_draw_bind``)."""
+    return float(_fkpp_seq_total(mass))
+
+
+def _fkpp_draw_scan_entry(mass, u):
+    return int(_fkpp_draw_scan(mass, float(u)))
+
+
+def _fkpp_draw_bind(mass):
+    def total() -> float:
+        return float(_fkpp_seq_total(mass))
+
+    def scan(u: float) -> int:
+        return int(_fkpp_draw_scan(mass, u))
+
+    return total, scan
+
+
+_fkpp_draw_entry.scan = _fkpp_draw_scan_entry
+_fkpp_draw_entry.bind = _fkpp_draw_bind
+
+
 def load_kernels() -> Dict[str, Callable]:
     return {
         "radix_argsort": _radix_argsort_u64,
@@ -289,6 +488,9 @@ def load_kernels() -> Dict[str, Callable]:
         "lloyd_refresh_bounds": _lloyd_refresh_bounds,
         "lloyd_candidate_eval": _candidate_eval,
         "lloyd_update_sums": _lloyd_update_sums,
+        "fkpp_level_score": _fkpp_entry,
+        "fkpp_weighted_draw": _fkpp_draw_entry,
+        "crude_bound_probe": _crude_bound_probe,
     }
 
 

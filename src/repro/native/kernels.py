@@ -1,6 +1,6 @@
 """Kernel declarations, verifiers, and the public dispatch wrappers.
 
-Five kernels ride the compiled tier:
+Seven kernels ride the compiled tier:
 
 ``radix_argsort``
     Stable LSD radix argsort over ``uint64``/``int64`` keys.  The contract
@@ -20,6 +20,26 @@ Five kernels ride the compiled tier:
     per-candidate exact-distance evaluation with guarded direct
     reassignment, and the M-step accumulation.  None registers a fallback —
     the engine keeps its inline numpy passes when the tier is off.
+
+``fkpp_level_score``
+    One Fast-kmeans++ register-center sweep over every level of one tree
+    (:mod:`repro.clustering.fast_kmeans_pp`): walk the levels deepest
+    first, break once the level distance reaches the running ceiling,
+    gather the new center's cell members from the concatenated CSR order,
+    compare against the level's candidate distance (strict ``>``), scatter
+    distance/slot/mass for the improved points.  Pure per-element stores
+    with the caller's precomputed per-level ``candidate ** z`` table — no
+    accumulation, so bit-identity needs no ordering replica.  No fallback:
+    the seeding keeps its inline fancy-indexed sweep in fallback mode.
+
+``crude_bound_probe``
+    One Crude-Approx (Algorithm 2) occupancy probe
+    (:mod:`repro.core.spread_reduction`): refresh the dyadic lattice — the
+    exact power-of-two scaling for fresh levels, the exact multiply-add
+    doubling for consecutive ones — and count distinct multilinear row
+    hashes (wrapping uint64, the numpy path's view) in one pass.  The count
+    is order-invariant, so any correct distinct counter matches
+    ``np.unique``.  No fallback: the bisection keeps its inline probe.
 
 Every verifier compares a provider's implementation against *live numpy
 calls* on adversarial inputs before the registry ever routes a real call to
@@ -133,6 +153,113 @@ def reference_candidate_eval(
         else:
             result[r] = -1
     return result, second_sq
+
+
+def reference_fkpp_level_score(
+    order: np.ndarray,
+    n: int,
+    starts: np.ndarray,
+    ends: np.ndarray,
+    distances: np.ndarray,
+    czs: np.ndarray,
+    ceiling: float,
+    center_slot: int,
+    best_distance: np.ndarray,
+    assignment: np.ndarray,
+    mass: np.ndarray,
+    weights: np.ndarray,
+    has_mass: bool,
+) -> int:
+    """Oracle of the Fast-kmeans++ tree sweep, built from live numpy ops.
+
+    This *is* the inline path of ``FastKMeansPlusPlus.register_center`` for
+    one tree: scan the levels deepest first, break once the level's
+    candidate distance reaches the ceiling (tree distances only grow toward
+    the root), fancy-mask the improved members of the center's cell (strict
+    ``>``), scatter the candidate distance and center slot, rewrite the
+    sampling mass as ``weights[improved] * czs[level + 1]``.  ``order`` is
+    the tree's per-level CSR orders concatenated (level ``l`` occupies
+    ``order[l * n:(l + 1) * n]``); ``starts``/``ends`` delimit the center's
+    cell within each level's row.  Cell members are unique per level, so
+    the kernels' sequential stores and this batch scatter write the same
+    doubles.
+    """
+    depth = int(starts.shape[0])
+    improved_total = 0
+    for level in range(depth - 1, -1, -1):
+        candidate = distances[level + 1]
+        if candidate >= ceiling and np.isfinite(ceiling):
+            break
+        members = order[level * n + starts[level] : level * n + ends[level]]
+        improved = members[best_distance[members] > candidate]
+        if improved.size == 0:
+            continue
+        best_distance[improved] = candidate
+        assignment[improved] = center_slot
+        if has_mass:
+            mass[improved] = weights[improved] * czs[level + 1]
+        improved_total += int(improved.size)
+    return improved_total
+
+
+def reference_fkpp_weighted_draw(mass: np.ndarray) -> float:
+    """Oracle of the D²-draw prefix total: ``np.cumsum(mass)[-1]``.
+
+    The native draw is split into the numpy path's two observable steps —
+    a sequential prefix total (this oracle) followed, once the caller has
+    checked finiteness/positivity and drawn its uniform variate, by the
+    first-exceed scan of :func:`reference_fkpp_draw_scan`.  The split
+    keeps RNG consumption identical to the fallback: the stream advances
+    only when the total is valid.
+    """
+    if mass.shape[0] == 0:
+        return 0.0
+    return float(np.cumsum(mass)[-1])
+
+
+def reference_fkpp_draw_scan(mass: np.ndarray, u: float) -> int:
+    """Oracle of the D²-draw index scan: ``searchsorted(cumsum, u, "right")``.
+
+    Valid for non-negative ``mass`` (the D²-sampling invariant), where the
+    prefix sums are non-decreasing and the binary search's answer equals
+    the first index whose prefix strictly exceeds ``u``.
+    """
+    return int(np.searchsorted(np.cumsum(mass), u, side="right"))
+
+
+def reference_crude_bound_probe(
+    scaled: np.ndarray,
+    level: int,
+    fresh: bool,
+    lattice: np.ndarray,
+    frac: np.ndarray,
+    multipliers: np.ndarray,
+) -> int:
+    """Oracle of the Crude-Approx occupancy probe, built from live numpy ops.
+
+    Mirrors the inline ``occupied`` probe of ``crude_cost_upper_bound``
+    operation for operation: fresh levels floor ``scaled * 2**level`` and
+    keep the fractional parts, consecutive levels apply the multiply-add
+    doubling, and the occupancy count is the number of distinct wrapping
+    multilinear row hashes (the multipliers are passed in so verification
+    does not import the geometry package).
+    """
+    if fresh:
+        scaled_level = scaled * (2.0 ** int(level))
+        floored = np.floor(scaled_level).astype(np.int64)
+        lattice[...] = floored
+        frac[...] = scaled_level - floored
+    else:
+        bits = frac >= 0.5
+        np.multiply(lattice, 2, out=lattice)
+        lattice += bits
+        np.multiply(frac, 2.0, out=frac)
+        frac -= bits
+    with np.errstate(over="ignore"):
+        keys = (lattice.view(np.uint64) * multipliers[None, :]).sum(
+            axis=1, dtype=np.uint64
+        )
+    return int(np.unique(keys).shape[0])
 
 
 # -------------------------------------------------------------- verifiers
@@ -301,6 +428,200 @@ def _verify_update_sums(kernel) -> None:
             raise RuntimeError("update sums disagrees with np.bincount on sums")
 
 
+def _verify_fkpp_level_score(kernel) -> None:
+    rng = np.random.default_rng(20260808)
+    for n, depth in ((64, 1), (96, 4), (257, 9)):
+        # A synthetic tree: every level is an independent permutation of all
+        # n points (the CSR order), with the center's cell a random —
+        # possibly empty — slice of it; distances grow strictly toward the
+        # root like a real level-distance table.
+        order = np.concatenate(
+            [rng.permutation(n).astype(np.int64) for _ in range(depth)]
+        )
+        starts = np.empty(depth, dtype=np.int64)
+        ends = np.empty(depth, dtype=np.int64)
+        for level in range(depth):
+            lo = int(rng.integers(0, n))
+            hi = int(rng.integers(lo, n + 1))
+            if level % 3 == 2:
+                hi = lo  # empty cells occur at sparse levels
+            starts[level] = lo
+            ends[level] = hi
+        distances = np.sort(rng.uniform(0.05, 2.0, size=depth + 1))
+        czs = np.array([np.float64(v) ** 2 for v in distances], dtype=np.float64)
+        base_best = rng.uniform(0.0, 2.0, size=n)
+        base_best[rng.random(n) < 0.2] = np.inf  # pre-first-sweep entries
+        # Exact ties pin the strict comparison: tied members must not move.
+        tied = rng.permutation(n)[: n // 8]
+        base_best[tied] = distances[rng.integers(1, depth + 1, size=tied.size)]
+        base_assignment = rng.integers(-1, 5, size=n).astype(np.int64)
+        base_mass = rng.uniform(0.0, 4.0, size=n)
+        weights = rng.uniform(0.1, 3.0, size=n)
+        # Ceilings: +inf (first center, no break), a mid-table value (the
+        # break triggers partway up), and below every level (full break).
+        ceilings = (np.inf, float(distances[(depth + 1) // 2]), 0.0)
+        for has_mass in (False, True):
+            for ceiling in ceilings:
+                expected_best = base_best.copy()
+                expected_assignment = base_assignment.copy()
+                expected_mass = base_mass.copy()
+                expected = reference_fkpp_level_score(
+                    order, n, starts, ends, distances, czs, ceiling, 7,
+                    expected_best, expected_assignment, expected_mass,
+                    weights, has_mass,
+                )
+                best = base_best.copy()
+                assignment = base_assignment.copy()
+                mass = base_mass.copy()
+                produced = kernel(
+                    order, n, starts, ends, distances, czs, ceiling, 7,
+                    best, assignment, mass, weights, has_mass,
+                )
+                if not (
+                    int(produced) == expected
+                    and np.array_equal(best, expected_best)
+                    and np.array_equal(assignment, expected_assignment)
+                    and np.array_equal(mass, expected_mass)
+                ):
+                    raise RuntimeError(
+                        "level score disagrees with the numpy sweep "
+                        f"(n={n}, depth={depth}, has_mass={has_mass}, "
+                        f"ceiling={ceiling})"
+                    )
+    # The production path runs through ``kernel.bind`` — a fit-lifetime
+    # closure over the tree's per-level CSR arrays that resolves the
+    # center's cell bounds itself — so the lookup plumbing is verified
+    # here too, against the same numpy oracle, on synthetic partitions
+    # with known offsets.
+    binder = getattr(kernel, "bind", None)
+    if binder is None:
+        raise RuntimeError("fkpp level score kernel must expose bind()")
+    for n, depth in ((64, 1), (113, 5), (257, 9)):
+        level_orders = []
+        level_offsets = []
+        level_cells = []
+        for level in range(depth):
+            n_cells = int(rng.integers(1, max(2, n // (level + 2)) + 1))
+            cids = rng.integers(0, n_cells, size=n).astype(np.int64)
+            order = np.ascontiguousarray(np.argsort(cids, kind="stable").astype(np.int64))
+            offsets = np.zeros(n_cells + 1, dtype=np.int64)
+            np.cumsum(np.bincount(cids, minlength=n_cells), out=offsets[1:])
+            level_orders.append(order)
+            level_offsets.append(offsets)
+            level_cells.append(np.ascontiguousarray(cids))
+        order_flat = np.concatenate(level_orders)
+        distances = np.sort(rng.uniform(0.05, 2.0, size=depth + 1))
+        czs = np.array([np.float64(v) ** 2 for v in distances], dtype=np.float64)
+        best = rng.uniform(0.0, 2.0, size=n)
+        best[rng.random(n) < 0.2] = np.inf
+        assignment = rng.integers(-1, 5, size=n).astype(np.int64)
+        mass = rng.uniform(0.0, 4.0, size=n)
+        weights = rng.uniform(0.1, 3.0, size=n)
+        sweep = binder(
+            level_orders, level_offsets, level_cells, n, distances, czs,
+            best, assignment, mass, weights,
+        )
+        starts = np.empty(depth, dtype=np.int64)
+        ends = np.empty(depth, dtype=np.int64)
+        # Successive centers mutate best/assignment/mass in place, exactly
+        # like real seeding; ceilings cover no-break, mid-break, and full
+        # break.
+        for slot, (center_point, ceiling, has_mass) in enumerate(
+            (
+                (0, np.inf, False),
+                (int(rng.integers(0, n)), np.inf, True),
+                (int(rng.integers(0, n)), float(distances[(depth + 1) // 2]), True),
+                (n - 1, 0.0, True),
+            )
+        ):
+            for level in range(depth):
+                cid = int(level_cells[level][center_point])
+                starts[level] = level_offsets[level][cid]
+                ends[level] = level_offsets[level][cid + 1]
+            expected_best = best.copy()
+            expected_assignment = assignment.copy()
+            expected_mass = mass.copy()
+            expected = reference_fkpp_level_score(
+                order_flat, n, starts, ends, distances, czs, ceiling, slot,
+                expected_best, expected_assignment, expected_mass, weights,
+                has_mass,
+            )
+            produced = sweep(ceiling, slot, center_point, has_mass)
+            if not (
+                int(produced) == expected
+                and np.array_equal(best, expected_best)
+                and np.array_equal(assignment, expected_assignment)
+                and np.array_equal(mass, expected_mass)
+            ):
+                raise RuntimeError(
+                    "bound level-score sweep disagrees with the numpy sweep "
+                    f"(n={n}, depth={depth}, center={center_point})"
+                )
+
+
+def _verify_fkpp_weighted_draw(kernel) -> None:
+    scan = getattr(kernel, "scan", None)
+    binder = getattr(kernel, "bind", None)
+    if scan is None or binder is None:
+        raise RuntimeError("weighted draw kernel must expose scan() and bind()")
+    rng = np.random.default_rng(20260810)
+    for n in (1, 17, 256, 1001):
+        mass = rng.uniform(0.0, 3.0, size=n)
+        mass[rng.random(n) < 0.3] = 0.0  # zero-mass runs create prefix ties
+        cumulative = np.cumsum(mass)
+        total = float(cumulative[-1])
+        expected_total = reference_fkpp_weighted_draw(mass)
+        bound_total, bound_scan = binder(mass)
+        for produced in (float(kernel(mass)), float(bound_total())):
+            # Bit-exact: the kernel must replay the cumsum add chain.
+            if not (produced == expected_total or (np.isnan(produced) and np.isnan(expected_total))):
+                raise RuntimeError(f"draw total disagrees with cumsum (n={n})")
+        # u values cover the interior, exact prefix ties (side="right" must
+        # step past them), zero, and u >= total (index n, clamped by the
+        # caller).
+        us = [0.0, total * 0.25, total * 0.999, total, total * 1.5]
+        us.extend(float(cumulative[i]) for i in (0, n // 2, n - 1))
+        for u in us:
+            expected = reference_fkpp_draw_scan(mass, u)
+            if int(scan(mass, u)) != expected or int(bound_scan(u)) != expected:
+                raise RuntimeError(f"draw scan disagrees with searchsorted (n={n}, u={u})")
+
+
+def _verify_crude_bound_probe(kernel) -> None:
+    rng = np.random.default_rng(20260809)
+    for d in (1, 2, 3, 7, 8, 16):
+        n = 160
+        scaled = rng.uniform(-1.2, 1.2, size=(n, d))
+        scaled[::7] = scaled[3]  # duplicate rows share cells at every level
+        # Exact dyadic coordinates sit on the 0.5 carry boundary of the
+        # doubling step, where ``frac >= 0.5`` must round the same way.
+        scaled[::11] = np.round(scaled[::11] * 8.0) / 8.0
+        multipliers = (
+            rng.integers(1, 2**62, size=d, dtype=np.uint64) * np.uint64(2)
+            + np.uint64(1)
+        )
+        expected_lattice = np.empty((n, d), dtype=np.int64)
+        expected_frac = np.empty((n, d), dtype=np.float64)
+        lattice = np.empty((n, d), dtype=np.int64)
+        frac = np.empty((n, d), dtype=np.float64)
+        # A bisection-shaped probe sequence: fresh jumps and consecutive
+        # doubling runs, including a fresh restart at level 0.
+        for level, fresh in ((3, True), (4, False), (5, False), (9, True), (10, False), (0, True)):
+            expected = reference_crude_bound_probe(
+                scaled, level, fresh, expected_lattice, expected_frac, multipliers
+            )
+            produced = kernel(scaled, level, fresh, lattice, frac, multipliers)
+            if not (
+                int(produced) == expected
+                and np.array_equal(lattice, expected_lattice)
+                and np.array_equal(frac, expected_frac)
+            ):
+                raise RuntimeError(
+                    "crude-bound probe disagrees with the numpy path "
+                    f"(d={d}, level={level}, fresh={fresh})"
+                )
+
+
 # ------------------------------------------------------- public wrappers
 def radix_argsort(keys: np.ndarray) -> np.ndarray:
     """Stable ascending argsort of 1-d ``uint64``/``int64`` keys.
@@ -344,6 +665,15 @@ def _register() -> None:
     registry.register_kernel(
         "lloyd_update_sums", fallback=None, verify=_verify_update_sums
     )
+    registry.register_kernel(
+        "fkpp_level_score", fallback=None, verify=_verify_fkpp_level_score
+    )
+    registry.register_kernel(
+        "fkpp_weighted_draw", fallback=None, verify=_verify_fkpp_weighted_draw
+    )
+    registry.register_kernel(
+        "crude_bound_probe", fallback=None, verify=_verify_crude_bound_probe
+    )
 
     def _load_numba():
         from repro.native import _numba_kernels
@@ -380,4 +710,8 @@ __all__ = [
     "kernel_provider",
     "radix_argsort",
     "reference_candidate_eval",
+    "reference_crude_bound_probe",
+    "reference_fkpp_draw_scan",
+    "reference_fkpp_level_score",
+    "reference_fkpp_weighted_draw",
 ]

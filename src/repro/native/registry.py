@@ -214,8 +214,11 @@ def native_status() -> dict:
     to the tier that produced them.
     """
     resolution = _resolve()
+    # Sorted by name on both axes: registration order is an implementation
+    # detail, and a stable ordering keeps status snapshots in tests and
+    # ``repro status`` diffs from churning as kernels are added.
     providers: Dict[str, dict] = {}
-    for provider in _PROVIDERS:
+    for provider in sorted(_PROVIDERS, key=lambda spec: spec.name):
         entry = dict(resolution["providers"].get(provider.name, {"available": False, "reason": "not resolved"}))
         if provider.describe is not None:
             try:
@@ -224,8 +227,8 @@ def native_status() -> dict:
                 pass
         providers[provider.name] = entry
     kernels = {
-        name: {"provider": provider}
-        for name, (provider, _) in resolution["kernels"].items()
+        name: {"provider": resolution["kernels"][name][0]}
+        for name in sorted(resolution["kernels"])
     }
     native = any(entry["provider"] != "fallback" for entry in kernels.values())
     return {

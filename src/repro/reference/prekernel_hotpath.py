@@ -1,0 +1,229 @@
+"""Post-PR-9 snapshots of the Fast-kmeans++ seeding sweep and Crude-Approx.
+
+The compiled kernel tier (:mod:`repro.native`) gained two kernels beyond the
+PR-7 set: ``fkpp_level_score`` fuses the per-level candidate scoring sweep of
+:class:`repro.clustering.fast_kmeans_pp.FastKMeansPlusPlus` (the masked
+gather/compare/scatter over one cell's member slice), and
+``crude_bound_probe`` fuses the dyadic-level occupancy probe of
+:func:`repro.core.spread_reduction.crude_cost_upper_bound` (the hoisted
+normalization / multiply-add doubling plus the hash-and-count-distinct
+pass).  Those kernels are pinned bit-identical to the numpy sweeps they
+replace, so the only honest way to time them is against *those* sweeps —
+not against the seed, whose columns the pre-existing ``fast_kpp_*`` and
+merge-reduce bench rows already track.  This module freezes the numpy hot
+paths exactly as they stood after PR 9, immediately before the kernels were
+wired in:
+
+* :func:`prekernel_fast_kmeans_plus_plus` — the seeding loop with the
+  inline per-level numpy update (``members[best_distance[members] >
+  candidate]`` fancy-mask, scatter stores, in-place mass rewrite).
+* :func:`prekernel_crude_cost_upper_bound` — Algorithm 2 with the inline
+  probe: fresh levels floor ``scaled * 2**level``, consecutive levels reuse
+  the multiply-add doubling, occupancy is ``np.unique(hash_rows(...))``.
+
+Freeze policy matches :mod:`repro.reference.prenative_hotpath`: bodies are
+copied, not imported, so optimizing the live modules cannot silently move
+the baseline.  Only primitives the new kernels leave untouched (the
+quadtree embedding and its CSR cell storage, ``compute_spread``,
+``hash_rows``, ``count_distinct_cells``, the draw mechanism, validation)
+are imported — both bench sides pay the identical tree-fit and spread
+costs, so the ``fastkpp_native_*`` / ``crude_bound_native_*`` ratio
+isolates the kernelized sweeps.  Both snapshots remain bit-identical to
+their live counterparts in *either* tier mode.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.clustering.cost import ClusteringSolution, cost_to_assigned_centers
+from repro.core.spread_reduction import CrudeApproximation
+from repro.geometry.distances import diameter_upper_bound
+from repro.geometry.grid import count_distinct_cells, hash_rows, random_grid_shift
+from repro.geometry.quadtree import QuadtreeEmbedding, compute_spread
+from repro.utils.rng import SeedLike, as_generator, weighted_index_draw
+from repro.utils.validation import (
+    check_integer,
+    check_points,
+    check_power,
+    check_weights,
+)
+
+
+# ------------------------------------------------------------ fast-kmeans++
+def prekernel_fast_kmeans_plus_plus(
+    points: np.ndarray,
+    k: int,
+    *,
+    z: int = 2,
+    weights: Optional[np.ndarray] = None,
+    n_trees: int = 3,
+    max_levels: int = 32,
+    spread: Optional[float] = None,
+    seed: SeedLike = None,
+) -> ClusteringSolution:
+    """The PR-9 seeding: tree-metric D²-sampling with the inline numpy sweep."""
+    points = check_points(points)
+    n = points.shape[0]
+    k = check_integer(k, name="k")
+    z = check_power(z)
+    n_trees = check_integer(n_trees, name="n_trees")
+    max_levels = check_integer(max_levels, name="max_levels")
+    weights = check_weights(weights, n)
+    generator = as_generator(seed)
+
+    if k >= n:
+        centers = points.copy()
+        assignment = np.arange(n, dtype=np.int64)
+        return ClusteringSolution(centers=centers, assignment=assignment, cost=0.0, z=z)
+
+    spread = float(spread) if spread is not None else compute_spread(points, seed=generator)
+    trees = [
+        QuadtreeEmbedding(max_levels=max_levels, seed=generator, spread=spread).fit(points)
+        for _ in range(n_trees)
+    ]
+    level_distances = [tree.level_distance_table_ for tree in trees]
+    level_cell_ids = [tree.level_cell_ids_ for tree in trees]
+
+    best_distance = np.full(n, np.inf, dtype=np.float64)
+    assignment = np.full(n, -1, dtype=np.int64)
+    center_indices = np.empty(k, dtype=np.int64)
+    mass: Optional[np.ndarray] = None
+
+    def register_center(center_slot: int, center_point: int) -> None:
+        ceiling = float(best_distance.max())
+        for tree, distances, cell_ids in zip(trees, level_distances, level_cell_ids):
+            for level in range(tree.depth - 1, -1, -1):
+                candidate = distances[level + 1]
+                if candidate >= ceiling and np.isfinite(ceiling):
+                    break
+                members = tree.points_in_cell(level, cell_ids[level][center_point])
+                if members.size == 0:
+                    continue
+                improved = members[best_distance[members] > candidate]
+                if improved.size == 0:
+                    continue
+                best_distance[improved] = candidate
+                assignment[improved] = center_slot
+                if mass is not None:
+                    mass[improved] = weights[improved] * candidate**z
+        unassigned = assignment < 0
+        if np.any(unassigned):
+            fallback = level_distances[0][0]
+            best_distance[unassigned] = np.minimum(best_distance[unassigned], fallback)
+            assignment[unassigned] = center_slot
+            if mass is not None:
+                mass[unassigned] = weights[unassigned] * best_distance[unassigned] ** z
+
+    first = weighted_index_draw(generator, weights)
+    if first < 0:
+        first = int(generator.integers(0, n))
+    center_indices[0] = first
+    register_center(0, first)
+    mass = weights * best_distance**z
+
+    for slot in range(1, k):
+        chosen = weighted_index_draw(generator, mass)
+        if chosen < 0:
+            chosen = int(generator.integers(0, n))
+        center_indices[slot] = chosen
+        register_center(slot, chosen)
+
+    centers = points[center_indices]
+    euclidean_cost = cost_to_assigned_centers(points, centers, assignment, weights=weights, z=z)
+    return ClusteringSolution(centers=centers, assignment=assignment, cost=euclidean_cost, z=z)
+
+
+# ------------------------------------------------------------- crude-approx
+def prekernel_crude_cost_upper_bound(
+    points: np.ndarray,
+    k: int,
+    *,
+    spread: Optional[float] = None,
+    seed: SeedLike = None,
+) -> CrudeApproximation:
+    """The PR-9 Algorithm 2: inline hoisted-normalization occupancy probes."""
+    points = check_points(points)
+    n, d = points.shape
+    k = check_integer(k, name="k")
+    generator = as_generator(seed)
+
+    diameter = max(diameter_upper_bound(points), 1e-12)
+    shift = random_grid_shift(d, diameter, seed=generator)
+
+    if n <= k:
+        return CrudeApproximation(
+            upper_bound=diameter,
+            level=0,
+            cell_side=diameter,
+            diameter=diameter,
+            calls=0,
+            n_points=n,
+            dimension=d,
+        )
+
+    if spread is None:
+        spread = compute_spread(points, seed=generator)
+    max_level = max(1, int(math.ceil(math.log2(float(spread)))) + 2)
+
+    calls = 0
+    scaled = (points - shift[None, :]) / diameter
+    probe_state: Dict[str, object] = {"level": None}
+
+    def occupied(level: int) -> int:
+        nonlocal calls
+        calls += 1
+        if probe_state["level"] is not None and level == probe_state["level"] + 1:
+            lattice = probe_state["lattice"]
+            frac = probe_state["frac"]
+            bits = frac >= 0.5
+            np.multiply(lattice, 2, out=lattice)
+            lattice += bits
+            np.multiply(frac, 2.0, out=frac)
+            frac -= bits
+        elif level <= 512:
+            scaled_level = scaled * (2.0**level)
+            lattice = np.floor(scaled_level).astype(np.int64)
+            frac = scaled_level - lattice
+        else:  # pragma: no cover - astronomically spread inputs
+            side = diameter * (2.0 ** (-level))
+            return count_distinct_cells(points, side, shift)
+        probe_state["level"] = level
+        probe_state["lattice"] = lattice
+        probe_state["frac"] = frac
+        return int(np.unique(hash_rows(lattice)).shape[0])
+
+    low, high = 0, max_level
+    if occupied(high) <= k:
+        side = diameter * (2.0 ** (-high))
+        upper = n * math.sqrt(d) * 8.0 * side
+        return CrudeApproximation(
+            upper_bound=max(upper, 1e-12),
+            level=high,
+            cell_side=side,
+            diameter=diameter,
+            calls=calls,
+            n_points=n,
+            dimension=d,
+        )
+    while low < high:
+        middle = (low + high) // 2
+        if occupied(middle) >= k + 1:
+            high = middle
+        else:
+            low = middle + 1
+    level = low
+    side = diameter * (2.0 ** (-level))
+    upper_bound = n * math.sqrt(d) * 8.0 * side
+    return CrudeApproximation(
+        upper_bound=float(upper_bound),
+        level=level,
+        cell_side=float(side),
+        diameter=float(diameter),
+        calls=calls,
+        n_points=n,
+        dimension=d,
+    )

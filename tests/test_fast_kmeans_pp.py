@@ -6,6 +6,21 @@ import pytest
 from repro.clustering.cost import clustering_cost, cost_to_assigned_centers
 from repro.clustering.fast_kmeans_pp import FastKMeansPlusPlus, fast_kmeans_plus_plus
 from repro.clustering.kmeans_pp import kmeans_plus_plus
+from repro.native.registry import use_native
+
+
+@pytest.fixture(autouse=True, params=[True, False], ids=["native", "fallback"])
+def _dispatch_mode(request):
+    """Run the whole module under both kernel-dispatch modes.
+
+    The seeding promises bit-identical draws, labels, and costs whether the
+    compiled ``fkpp_level_score``/``fkpp_weighted_draw`` kernels serve or
+    the numpy sweep runs, so every behavioural test must hold in both
+    modes (on boxes without a compiler or numba both params exercise the
+    fallback).
+    """
+    with use_native(request.param):
+        yield request.param
 
 
 class TestFastKMeansPlusPlus:

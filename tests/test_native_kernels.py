@@ -27,7 +27,9 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
+from repro.clustering.fast_kmeans_pp import fast_kmeans_plus_plus
 from repro.clustering.lloyd import kmeans
+from repro.core.spread_reduction import crude_cost_upper_bound
 from repro.data.synthetic import gaussian_mixture
 from repro.geometry.quadtree import QuadtreeEmbedding
 from repro.native import (
@@ -36,6 +38,10 @@ from repro.native import (
     native_status,
     radix_argsort,
     reference_candidate_eval,
+    reference_crude_bound_probe,
+    reference_fkpp_draw_scan,
+    reference_fkpp_level_score,
+    reference_fkpp_weighted_draw,
     use_native,
 )
 from repro.native.kernels import _reference_csr_group
@@ -289,6 +295,138 @@ class TestLloydKernels:
         assert produced is None
 
 
+def _synthetic_tree(rng, n, depth):
+    """Random per-level CSR partitions shaped like a quadtree's arrays."""
+    level_orders, level_offsets, level_cells = [], [], []
+    for level in range(depth):
+        n_cells = int(rng.integers(1, max(2, n // (level + 2)) + 1))
+        cids = rng.integers(0, n_cells, size=n).astype(np.int64)
+        order = np.ascontiguousarray(np.argsort(cids, kind="stable").astype(np.int64))
+        offsets = np.zeros(n_cells + 1, dtype=np.int64)
+        np.cumsum(np.bincount(cids, minlength=n_cells), out=offsets[1:])
+        level_orders.append(order)
+        level_offsets.append(offsets)
+        level_cells.append(np.ascontiguousarray(cids))
+    return level_orders, level_offsets, level_cells
+
+
+@requires_native
+class TestFkppLevelScoreKernel:
+    @pytest.mark.parametrize("n,depth", [(80, 1), (150, 5), (301, 9)])
+    def test_bound_sweep_matches_numpy_oracle(self, n, depth):
+        rng = np.random.default_rng(depth)
+        level_orders, level_offsets, level_cells = _synthetic_tree(rng, n, depth)
+        order_flat = np.concatenate(level_orders)
+        distances = np.sort(rng.uniform(0.05, 2.0, size=depth + 1))
+        czs = np.array([np.float64(v) ** 2 for v in distances])
+        best = rng.uniform(0.0, 2.0, size=n)
+        best[rng.random(n) < 0.25] = np.inf
+        assignment = rng.integers(-1, 4, size=n).astype(np.int64)
+        mass = rng.uniform(0.0, 4.0, size=n)
+        weights = rng.uniform(0.1, 3.0, size=n)
+        kernel = get_kernel("fkpp_level_score")
+        sweep = kernel.bind(
+            level_orders, level_offsets, level_cells, n, distances, czs,
+            best, assignment, mass, weights,
+        )
+        starts = np.empty(depth, dtype=np.int64)
+        ends = np.empty(depth, dtype=np.int64)
+        for slot in range(4):
+            center_point = int(rng.integers(0, n))
+            ceiling = (np.inf, float(distances[depth // 2 + 1]), 0.0, np.inf)[slot]
+            has_mass = slot > 0
+            for level in range(depth):
+                cid = int(level_cells[level][center_point])
+                starts[level] = level_offsets[level][cid]
+                ends[level] = level_offsets[level][cid + 1]
+            expected_best = best.copy()
+            expected_assignment = assignment.copy()
+            expected_mass = mass.copy()
+            expected = reference_fkpp_level_score(
+                order_flat, n, starts, ends, distances, czs, ceiling, slot,
+                expected_best, expected_assignment, expected_mass, weights,
+                has_mass,
+            )
+            assert sweep(ceiling, slot, center_point, has_mass) == expected
+            np.testing.assert_array_equal(best, expected_best)
+            np.testing.assert_array_equal(assignment, expected_assignment)
+            np.testing.assert_array_equal(mass, expected_mass)
+
+    def test_escape_hatch_forces_numpy_sweep(self):
+        with use_native(False):
+            assert get_kernel("fkpp_level_score") is None
+
+
+@requires_native
+class TestFkppWeightedDrawKernel:
+    @pytest.mark.parametrize("n", [1, 40, 513])
+    def test_total_and_scan_match_cumsum_searchsorted(self, n):
+        rng = np.random.default_rng(n)
+        mass = rng.uniform(0.0, 5.0, size=n)
+        mass[rng.random(n) < 0.3] = 0.0
+        kernel = get_kernel("fkpp_weighted_draw")
+        cumulative = np.cumsum(mass)
+        total = float(kernel(mass))
+        assert total == reference_fkpp_weighted_draw(mass)
+        bound_total, bound_scan = kernel.bind(mass)
+        assert float(bound_total()) == total
+        us = [0.0, total * 0.4, total, total * 2.0]
+        us.extend(float(cumulative[i]) for i in (0, n // 2, n - 1))
+        for u in us:
+            expected = reference_fkpp_draw_scan(mass, u)
+            assert int(kernel.scan(mass, u)) == expected
+            assert int(bound_scan(u)) == expected
+
+    def test_scan_reflects_in_place_mass_updates(self):
+        # The production closure is bound once per fit and must observe
+        # every in-place rewrite of the mass store.
+        mass = np.ones(10)
+        kernel = get_kernel("fkpp_weighted_draw")
+        bound_total, bound_scan = kernel.bind(mass)
+        assert float(bound_total()) == 10.0
+        mass[:5] = 0.0
+        assert float(bound_total()) == float(np.cumsum(mass)[-1])
+        assert int(bound_scan(0.5)) == int(
+            np.searchsorted(np.cumsum(mass), 0.5, side="right")
+        )
+
+    def test_escape_hatch_forces_numpy_draw(self):
+        with use_native(False):
+            assert get_kernel("fkpp_weighted_draw") is None
+
+
+@requires_native
+class TestCrudeBoundProbeKernel:
+    @pytest.mark.parametrize("d", [1, 3, 8])
+    def test_probe_sequence_matches_numpy_oracle(self, d):
+        rng = np.random.default_rng(d)
+        n = 200
+        scaled = rng.uniform(-1.5, 1.5, size=(n, d))
+        scaled[::6] = scaled[2]  # duplicates share cells at every level
+        multipliers = (
+            rng.integers(1, 2**62, size=d, dtype=np.uint64) * np.uint64(2)
+            + np.uint64(1)
+        )
+        kernel = get_kernel("crude_bound_probe")
+        lattice = np.empty((n, d), dtype=np.int64)
+        frac = np.empty((n, d), dtype=np.float64)
+        expected_lattice = np.empty((n, d), dtype=np.int64)
+        expected_frac = np.empty((n, d), dtype=np.float64)
+        # A bisection-shaped level walk: fresh jumps then doubling runs.
+        for level, fresh in ((2, True), (3, False), (4, False), (8, True), (9, False)):
+            expected = reference_crude_bound_probe(
+                scaled, level, fresh, expected_lattice, expected_frac, multipliers
+            )
+            produced = kernel(scaled, level, fresh, lattice, frac, multipliers)
+            assert produced == expected
+            np.testing.assert_array_equal(lattice, expected_lattice)
+            np.testing.assert_array_equal(frac, expected_frac)
+
+    def test_escape_hatch_forces_numpy_probe(self):
+        with use_native(False):
+            assert get_kernel("crude_bound_probe") is None
+
+
 class TestTierControl:
     def test_native_status_shape(self):
         status = native_status()
@@ -299,8 +437,17 @@ class TestTierControl:
             "lloyd_refresh_bounds",
             "lloyd_candidate_eval",
             "lloyd_update_sums",
+            "fkpp_level_score",
+            "fkpp_weighted_draw",
+            "crude_bound_probe",
         }
         assert "providers" in status
+
+    def test_native_status_kernels_sorted(self):
+        # The status dict feeds `repro status` and the bench attribution
+        # columns; stable ordering keeps diffs and logs deterministic.
+        names = list(native_status()["kernels"])
+        assert names == sorted(names)
 
     def test_use_native_false_forces_fallback(self):
         with use_native(False):

@@ -11,6 +11,18 @@ from repro.core.spread_reduction import (
     reduce_spread,
 )
 from repro.data.synthetic import high_spread_dataset
+from repro.native.registry import use_native
+
+
+@pytest.fixture(autouse=True, params=[True, False], ids=["native", "fallback"])
+def _dispatch_mode(request):
+    """Run the whole module under both kernel-dispatch modes.
+
+    ``crude_cost_upper_bound`` promises identical bounds whether the
+    compiled ``crude_bound_probe`` kernel serves or the numpy occupancy
+    probe runs, so every behavioural test must hold in both modes."""
+    with use_native(request.param):
+        yield request.param
 
 
 class TestCrudeCostUpperBound:
